@@ -1,0 +1,85 @@
+package ucq
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLISmoke builds and exercises the command-line tools end to end.
+// Skipped in -short mode (it shells out to the Go toolchain).
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test shells out to go run")
+	}
+	dir := t.TempDir()
+
+	queryPath := filepath.Join(dir, "query.ucq")
+	if err := os.WriteFile(queryPath, []byte(`
+		Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).
+		Q2(x,y,w) <- R1(x,y), R2(y,w).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range map[string]string{
+		"R1": "1,2\n4,2\n",
+		"R2": "2,3\n",
+		"R3": "3,5\n3,6\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(rows), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ucq-classify reports a tractable verdict with a certificate.
+	out, err := exec.Command("go", "run", "./cmd/ucq-classify", "-v", queryPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-classify: %v\n%s", err, out)
+	}
+	for _, want := range []string{"verdict: tractable", "Theorem 12", "certificate"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("ucq-classify output missing %q:\n%s", want, out)
+		}
+	}
+
+	// ucq-classify exits 1 on intractable queries.
+	cmd := exec.Command("go", "run", "./cmd/ucq-classify")
+	cmd.Stdin = strings.NewReader("Q(x,y) <- R(x,z), S(z,y).")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("ucq-classify should exit non-zero on intractable queries:\n%s", out)
+	}
+	if !strings.Contains(string(out), "verdict: intractable") {
+		t.Errorf("ucq-classify output missing intractable verdict:\n%s", out)
+	}
+
+	// ucq-run streams the union's answers.
+	out, err = exec.Command("go", "run", "./cmd/ucq-run",
+		"-q", queryPath,
+		"-r", "R1="+filepath.Join(dir, "R1.csv"),
+		"-r", "R2="+filepath.Join(dir, "R2.csv"),
+		"-r", "R3="+filepath.Join(dir, "R3.csv"),
+		"-count",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "constant-delay evaluation") {
+		t.Errorf("ucq-run did not use the constant-delay engine:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[len(lines)-1] != "6" {
+		t.Errorf("ucq-run count = %q, want 6\n%s", lines[len(lines)-1], out)
+	}
+
+	// ucq-experiments -quick renders the full document.
+	out, err = exec.Command("go", "run", "./cmd/ucq-experiments", "-quick").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "## E9 ") || strings.Contains(string(out), "MISMATCH") {
+		t.Errorf("ucq-experiments output malformed")
+	}
+}

@@ -1,0 +1,91 @@
+// ucq-classify reads a UCQ (from a file or stdin) and reports its
+// enumeration complexity with respect to DelayClin, per Carmeli & Kröll
+// (PODS 2019): tractable with a free-connexity certificate, intractable
+// with the paper's conditional lower bounds, or unknown.
+//
+// Usage:
+//
+//	ucq-classify [-v] [query.ucq]
+//	echo 'Q(x,y) <- R(x,z), S(z,y).' | ucq-classify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-CQ classes and the full certificate")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ucq-classify [-v] [query-file]\n")
+		fmt.Fprintf(os.Stderr, "reads the query from the file, or stdin when omitted\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	u, err := ucq.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ucq.Classify(u)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("query (%d CQs):\n%s\n\n", len(u.CQs), indent(u.String()))
+	if res.Reduced != nil {
+		fmt.Printf("after removing contained CQs (%d left):\n%s\n\n",
+			len(res.Reduced.CQs), indent(res.Reduced.String()))
+	}
+	if *verbose {
+		for _, q := range u.CQs {
+			fmt.Printf("  %-4s %s\n", q.Name+":", ucq.ClassifyCQ(q))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("verdict: %s\n", res.Verdict)
+	fmt.Printf("reason:  %s\n", res.Reason)
+	if len(res.Hypotheses) > 0 {
+		fmt.Printf("assumes: %s\n", strings.Join(res.Hypotheses, ", "))
+	}
+	if res.Certificate != nil {
+		fmt.Printf("certificate (%d virtual atoms):\n%s\n",
+			res.Certificate.TotalVirtualAtoms(), indent(res.Certificate.String()))
+	}
+	if res.Verdict == ucq.Intractable {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ucq-classify:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,41 @@
+// ucq-experiments regenerates EXPERIMENTS.md: it runs every experiment of
+// the reproduction (constant-delay measurements, forward lower-bound
+// reductions, the classification gallery, and the structural figures) and
+// renders the results as markdown.
+//
+// Usage:
+//
+//	ucq-experiments [-quick] [-o EXPERIMENTS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workload sizes")
+	out := flag.String("o", "", "write the markdown to a file instead of stdout")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	tables := experiments.RunAll(cfg)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucq-experiments:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.RenderMarkdown(w, tables, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "ucq-experiments:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// paper_gallery classifies every worked example of the paper and prints
+// the verdict table — the interactive version of experiment E9.
+//
+// Run with: go run ./examples/paper_gallery
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/paper"
+)
+
+func main() {
+	fmt.Println("Classification of every worked example in Carmeli & Kröll (PODS'19)")
+	fmt.Println(strings.Repeat("=", 78))
+	agreements := 0
+	for _, ex := range paper.Gallery() {
+		u := ex.Query()
+		res, err := ucq.Classify(u)
+		if err != nil {
+			log.Fatalf("%s: %v", ex.Name, err)
+		}
+		agree := false
+		switch ex.Coverage {
+		case paper.GeneralTheorem:
+			agree = res.Verdict.String() == ex.Verdict
+		default:
+			// Ad-hoc and open cases: the honest classifier verdict is
+			// Unknown (the paper's general theorems do not cover them).
+			agree = res.Verdict == ucq.Unknown
+		}
+		if agree {
+			agreements++
+		}
+		fmt.Printf("\n%s (%s)\n", ex.Ref, ex.Name)
+		for _, line := range strings.Split(u.String(), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
+		hyp := ""
+		if len(ex.Hypotheses) > 0 {
+			hyp = " assuming " + strings.Join(ex.Hypotheses, ", ")
+		}
+		fmt.Printf("  paper:      %s%s [%s]\n", ex.Verdict, hyp, ex.Coverage)
+		fmt.Printf("  classifier: %s — %s\n", res.Verdict, res.Reason)
+		status := "AGREES"
+		if !agree {
+			status = "DISAGREES"
+		}
+		fmt.Printf("  %s\n", status)
+	}
+	fmt.Printf("\n%s\n%d/%d examples consistent with the paper.\n",
+		strings.Repeat("=", 78), agreements, len(paper.Gallery()))
+}

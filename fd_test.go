@@ -1,0 +1,77 @@
+package ucq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/enumeration"
+)
+
+func TestPublicFDAPI(t *testing.T) {
+	q := MustParseCQ("Q(x,y) <- R1(x,z), R2(z,y).")
+	fds := MustFDSet(FD{Rel: "R1", From: []int{0}, To: 1})
+
+	ext, ok := ClassifyCQWithFDs(q, fds)
+	if !ok {
+		t.Fatalf("FD-extension should be free-connex")
+	}
+	if len(ext.Head) != 3 {
+		t.Errorf("extended head = %v", ext.Head)
+	}
+	// Without helpful FDs the query stays non-free-connex.
+	none := MustFDSet(FD{Rel: "R2", From: []int{0}, To: 1})
+	if _, ok := ClassifyCQWithFDs(q, none); ok {
+		t.Errorf("unhelpful FD certified the query")
+	}
+
+	inst := NewInstance()
+	r1 := NewRelation("R1", 2)
+	r1.AppendInts(1, 10)
+	r1.AppendInts(2, 10)
+	r1.AppendInts(3, 11)
+	inst.AddRelation(r1)
+	r2 := NewRelation("R2", 2)
+	r2.AppendInts(10, 7)
+	r2.AppendInts(11, 8)
+	inst.AddRelation(r2)
+
+	it, err := EnumerateCQWithFDs(q, fds, inst)
+	if err != nil {
+		t.Fatalf("EnumerateCQWithFDs: %v", err)
+	}
+	got := enumeration.Collect(it)
+	if len(got) != 3 {
+		t.Errorf("answers = %v, want 3", got)
+	}
+	if _, err := NewFDSet(FD{Rel: "", From: []int{0}, To: 1}); err == nil {
+		t.Errorf("invalid FD accepted")
+	}
+}
+
+func TestPlanExplain(t *testing.T) {
+	u := MustParse(example2Src)
+	inst := NewInstance()
+	for _, name := range []string{"R1", "R2", "R3"} {
+		r := NewRelation(name, 2)
+		r.AppendInts(1, 2)
+		r.AppendInts(2, 3)
+		inst.AddRelation(r)
+	}
+	p, err := NewPlan(u, inst, nil)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	ex := p.Explain()
+	for _, want := range []string{"Theorem 12", "certified extensions", "provider runs", "top join tree"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("Explain missing %q:\n%s", want, ex)
+		}
+	}
+	naive, err := NewPlan(u, inst, &PlanOptions{ForceNaive: true})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if !strings.Contains(naive.Explain(), "naive plan") {
+		t.Errorf("naive Explain = %q", naive.Explain())
+	}
+}

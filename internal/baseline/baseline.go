@@ -1,0 +1,196 @@
+// Package baseline provides a straightforward join-and-deduplicate
+// evaluator for CQs and UCQs. It is the comparator that the paper's
+// DelayClin results are implicitly measured against: it computes all
+// homomorphisms by a nested index join and deduplicates head projections,
+// so its running time grows with the number of homomorphisms rather than
+// the number of answers, and it has no delay guarantee.
+//
+// The package doubles as the test oracle for the constant-delay engine.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+)
+
+// EvalCQ computes the answer relation of q over inst (head projections of
+// all homomorphisms, deduplicated). Virtual atoms participate like regular
+// atoms and must have relations in the instance.
+func EvalCQ(q *cq.CQ, inst *database.Instance) (*database.Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := newJoinPlan(q, inst)
+	if err != nil {
+		return nil, err
+	}
+	out := database.NewRelation(q.Name, len(q.Head))
+	seen := make(map[string]bool)
+	head := make(database.Tuple, len(q.Head))
+	plan.run(func(assign map[cq.Variable]database.Value) bool {
+		for i, v := range q.Head {
+			head[i] = assign[v]
+		}
+		k := head.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Append(head...)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// DecideCQ reports whether q has at least one answer over inst.
+func DecideCQ(q *cq.CQ, inst *database.Instance) (bool, error) {
+	plan, err := newJoinPlan(q, inst)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	plan.run(func(map[cq.Variable]database.Value) bool {
+		found = true
+		return false
+	})
+	return found, nil
+}
+
+// EvalUCQ computes the union of the member CQs' answers, deduplicated
+// positionally.
+func EvalUCQ(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	out := database.NewRelation("union", u.Arity())
+	seen := make(map[string]bool)
+	for _, q := range u.CQs {
+		r, err := EvalCQ(q, inst)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			k := row.Key()
+			if !seen[k] {
+				seen[k] = true
+				out.Append(row...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecideUCQ reports whether the union has at least one answer.
+func DecideUCQ(u *cq.UCQ, inst *database.Instance) (bool, error) {
+	for _, q := range u.CQs {
+		ok, err := DecideCQ(q, inst)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// joinPlan is a static-order nested index join: atom i is indexed on the
+// positions bound by atoms 0..i-1.
+type joinPlan struct {
+	q     *cq.CQ
+	atoms []plannedAtom
+}
+
+type plannedAtom struct {
+	atom cq.Atom
+	rel  *database.Relation
+	// boundCols/boundVars are the columns whose variables are bound when
+	// this atom is reached; index is on those columns. checkCols pairs
+	// repeated occurrences within the atom: (col, firstCol).
+	boundCols []int
+	boundVars []cq.Variable
+	index     *database.Index
+	// newVars lists (col, var) pairs bound by this atom.
+	newCols []int
+	newVars []cq.Variable
+	// eqPairs lists (col, earlierCol) equality constraints from repeated
+	// variables inside the atom.
+	eqPairs [][2]int
+}
+
+func newJoinPlan(q *cq.CQ, inst *database.Instance) (*joinPlan, error) {
+	p := &joinPlan{q: q}
+	bound := make(cq.VarSet)
+	for _, a := range q.Atoms {
+		rel := inst.Relation(a.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("baseline: no relation %q in the instance", a.Rel)
+		}
+		if rel.Arity() != len(a.Vars) {
+			return nil, fmt.Errorf("baseline: atom %s has arity %d but relation has arity %d",
+				a, len(a.Vars), rel.Arity())
+		}
+		pa := plannedAtom{atom: a, rel: rel}
+		firstCol := make(map[cq.Variable]int)
+		for c, v := range a.Vars {
+			if fc, ok := firstCol[v]; ok {
+				pa.eqPairs = append(pa.eqPairs, [2]int{c, fc})
+				continue
+			}
+			firstCol[v] = c
+			if bound[v] {
+				pa.boundCols = append(pa.boundCols, c)
+				pa.boundVars = append(pa.boundVars, v)
+			} else {
+				pa.newCols = append(pa.newCols, c)
+				pa.newVars = append(pa.newVars, v)
+			}
+		}
+		pa.index = rel.BuildIndex(pa.boundCols)
+		for _, v := range pa.newVars {
+			bound.Add(v)
+		}
+		p.atoms = append(p.atoms, pa)
+	}
+	return p, nil
+}
+
+// run invokes emit for every homomorphism; emit returns false to stop.
+func (p *joinPlan) run(emit func(map[cq.Variable]database.Value) bool) {
+	assign := make(map[cq.Variable]database.Value)
+	var key database.Tuple
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(p.atoms) {
+			return emit(assign)
+		}
+		pa := &p.atoms[k]
+		key = key[:0]
+		for _, v := range pa.boundVars {
+			key = append(key, assign[v])
+		}
+		for _, ri := range pa.index.Lookup(key) {
+			row := pa.rel.Row(int(ri))
+			ok := true
+			for _, eq := range pa.eqPairs {
+				if row[eq[0]] != row[eq[1]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i, c := range pa.newCols {
+				assign[pa.newVars[i]] = row[c]
+			}
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}

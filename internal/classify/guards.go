@@ -1,0 +1,166 @@
+package classify
+
+import (
+	"repro/internal/cq"
+	"repro/internal/homomorphism"
+	"repro/internal/hypergraph"
+)
+
+// Rewritten is a union of pairwise body-isomorphic CQs brought into a
+// single variable space (Section 4.2's "one body with several heads"
+// notation): the body of the first CQ is the reference, and each CQ's free
+// variables are mapped through a body-isomorphism into that space.
+type Rewritten struct {
+	U *cq.UCQ
+	// Body is the shared reference body (the first CQ).
+	Body *cq.CQ
+	// H is the hypergraph of the reference body.
+	H *hypergraph.Hypergraph
+	// Frees[i] is free(Qi) rewritten into the reference variable space.
+	Frees []cq.VarSet
+	// Isos[i] maps var(Qi) into the reference variable space (Isos[0] is
+	// the identity).
+	Isos []cq.Substitution
+}
+
+// RewrittenHead returns CQ i's head mapped into the reference variable
+// space, preserving positional order.
+func (r *Rewritten) RewrittenHead(i int) []cq.Variable {
+	return r.Isos[i].ApplyAll(r.U.CQs[i].Head)
+}
+
+// RewriteBodyIsomorphic checks that all CQs of the union are pairwise
+// body-isomorphic and rewrites their heads into the first CQ's variable
+// space. The second return value is false when some pair is not
+// body-isomorphic.
+func RewriteBodyIsomorphic(u *cq.UCQ) (*Rewritten, bool) {
+	if len(u.CQs) == 0 {
+		return nil, false
+	}
+	ref := u.CQs[0]
+	r := &Rewritten{
+		U:     u,
+		Body:  ref,
+		H:     hypergraph.FromCQ(ref),
+		Frees: make([]cq.VarSet, len(u.CQs)),
+		Isos:  make([]cq.Substitution, len(u.CQs)),
+	}
+	r.Frees[0] = ref.Free()
+	r.Isos[0] = cq.Substitution{}
+	for i := 1; i < len(u.CQs); i++ {
+		// FindBodyIsomorphism(q1, q2) returns a mapping from var(q2) to
+		// var(q1); we want var(Qi) → var(ref).
+		h, ok := homomorphism.FindBodyIsomorphism(ref, u.CQs[i])
+		if !ok {
+			return nil, false
+		}
+		r.Frees[i] = h.ApplySet(u.CQs[i].Free())
+		r.Isos[i] = h
+	}
+	return r, true
+}
+
+// FreePathsOf returns the free-paths of CQ i, computed on the shared body
+// with CQ i's rewritten free variables.
+func (r *Rewritten) FreePathsOf(i int) []hypergraph.FreePath {
+	return hypergraph.FreePaths(r.H, r.Frees[i])
+}
+
+// FreePathGuarded reports whether CQ i is free-path guarded by CQ j
+// (Definition 23): every free-path P of Qi satisfies var(P) ⊆ free(Qj).
+func FreePathGuarded(r *Rewritten, i, j int) bool {
+	for _, p := range r.FreePathsOf(i) {
+		if !r.Frees[j].ContainsAll(p.VarSet()) {
+			return false
+		}
+	}
+	return true
+}
+
+// BypassGuarded reports whether CQ i is bypass guarded by CQ j
+// (Definition 23): for every free-path P of Qi and every variable u
+// occurring in two subsequent P-atoms, u ∈ free(Qj).
+func BypassGuarded(r *Rewritten, i, j int) bool {
+	for _, p := range r.FreePathsOf(i) {
+		for _, pair := range hypergraph.SubsequentPAtoms(r.H, p) {
+			shared := r.H.Edges[pair[0]].Vars.Intersect(r.H.Edges[pair[1]].Vars)
+			for u := range shared {
+				if !r.Frees[j][u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// UnionGuarded reports whether the free-path p has a union guard
+// (Definition 32). A union guard may be assumed to consist of the endpoint
+// pair plus triples (za, zb, zc): larger sets only add obligations. Its
+// existence reduces to an interval condition — guardable(a, c) holds when
+// some a < b < c yields a triple contained in some CQ's free variables with
+// both sub-intervals guardable — decided by memoised recursion.
+func UnionGuarded(r *Rewritten, p hypergraph.FreePath) bool {
+	n := len(p)
+	if n < 3 {
+		return true
+	}
+	// The endpoint pair itself must be covered by some CQ's free set.
+	if !coveredBySomeFree(r, cq.NewVarSet(p[0], p[n-1])) {
+		return false
+	}
+	memo := make(map[[2]int]int) // 0 unknown, 1 true, 2 false
+	var guardable func(a, c int) bool
+	guardable = func(a, c int) bool {
+		if c <= a+1 {
+			return true
+		}
+		key := [2]int{a, c}
+		if v, ok := memo[key]; ok {
+			return v == 1
+		}
+		memo[key] = 2
+		for b := a + 1; b < c; b++ {
+			if !coveredBySomeFree(r, cq.NewVarSet(p[a], p[b], p[c])) {
+				continue
+			}
+			if guardable(a, b) && guardable(b, c) {
+				memo[key] = 1
+				return true
+			}
+		}
+		return false
+	}
+	return guardable(0, n-1)
+}
+
+func coveredBySomeFree(r *Rewritten, s cq.VarSet) bool {
+	for _, f := range r.Frees {
+		if f.ContainsAll(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Isolated reports whether the free-path p of CQ i is isolated
+// (Definition 34): the shared body is var(p)-connex and no other free-path
+// of CQ i shares a variable with p.
+func Isolated(r *Rewritten, i int, p hypergraph.FreePath) bool {
+	vars := p.VarSet()
+	if !r.H.IsSConnex(vars) {
+		return false
+	}
+	pstr := p.String()
+	for _, q := range r.FreePathsOf(i) {
+		if q.String() == pstr {
+			continue
+		}
+		for _, v := range q {
+			if vars[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cq"
+	"repro/internal/enumeration"
+)
+
+// TestAlgorithmOneUnionKMatchesBaseline exercises the Theorem 4 recursion
+// on unions of 1..4 free-connex CQs over shared relations.
+func TestAlgorithmOneUnionKMatchesBaseline(t *testing.T) {
+	sources := []string{
+		"Q1(x,y) <- R1(x,y).",
+		`
+			Q1(x,y) <- R1(x,y).
+			Q2(x,y) <- R2(x,y), R3(y).
+		`,
+		`
+			Q1(x,y) <- R1(x,y).
+			Q2(x,y) <- R2(x,y), R3(y).
+			Q3(x,y) <- R1(x,y), R3(x).
+		`,
+		`
+			Q1(x,y) <- R1(x,y).
+			Q2(x,y) <- R2(x,y).
+			Q3(x,y) <- R1(y,x).
+			Q4(x,y) <- R2(y,x).
+		`,
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, src := range sources {
+		u := cq.MustParse(src)
+		for trial := 0; trial < 8; trial++ {
+			inst := randomInstance(u, rng, 25, 5)
+			it, err := NewAlgorithmOneUnionK(u, inst)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			got := enumeration.Collect(it)
+			seen := make(map[string]bool)
+			for _, g := range got {
+				if seen[g.Key()] {
+					t.Fatalf("%s trial %d: duplicate %v", src, trial, g)
+				}
+				seen[g.Key()] = true
+			}
+			want, err := baseline.EvalUCQ(u, inst)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if len(got) != want.Len() {
+				t.Fatalf("%s trial %d: %d answers, want %d", src, trial, len(got), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if !seen[want.Row(i).Key()] {
+					t.Fatalf("%s trial %d: missing %v", src, trial, want.Row(i))
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithmOneUnionKRejectsNonFreeConnex(t *testing.T) {
+	u := cq.MustParse(`
+		Q1(x,y) <- R1(x,z), R2(z,y).
+		Q2(x,y) <- R1(x,y).
+	`)
+	inst := randomInstance(u, rand.New(rand.NewSource(1)), 10, 4)
+	if _, err := NewAlgorithmOneUnionK(u, inst); err == nil {
+		t.Errorf("non-free-connex member accepted")
+	}
+	if _, err := NewAlgorithmOneUnionK(&cq.UCQ{}, inst); err == nil {
+		t.Errorf("empty union accepted")
+	}
+}

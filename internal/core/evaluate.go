@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/enumeration"
+	"repro/internal/yannakakis"
+)
+
+// UnionPlan is a prepared Theorem 12 evaluation of a certified free-connex
+// UCQ: linear preprocessing, constant delay, no duplicate answers.
+//
+// Preparation follows the proof of Theorem 12. For each CQ (providers
+// before consumers, by the recursive structure of the certificate), every
+// virtual atom's relation is instantiated by running the provider's
+// S-connex enumeration (Lemma 8): each provider S-tuple is extended to a
+// full homomorphism, emitted as a bona fide answer of the union (the
+// "answers produced along the way" of the proof), and translated through
+// the body-homomorphism into a row of the virtual relation. The extended
+// CQs are then enumerated by the CDY engine, and the whole stream is
+// wrapped in the Cheater's Lemma combinator (Lemma 5), which absorbs the
+// constantly-many linear stalls and the constant duplication factor.
+type UnionPlan struct {
+	U    *cq.UCQ
+	Cert *Certificate
+
+	// bonus holds the provider answers produced while instantiating
+	// virtual relations; they are answers of the union.
+	bonus []database.Tuple
+	plans []*yannakakis.Plan
+	// m is the duplication bound handed to the Cheater combinator.
+	m int
+	// resolved caches instantiated instances per extension snapshot.
+	resolved map[*ExtendedCQ]*database.Instance
+	inst     *database.Instance
+	stats    UnionStats
+}
+
+// UnionStats reports preprocessing counters of a union plan.
+type UnionStats struct {
+	// ProviderRuns counts Lemma 8 provider enumerations.
+	ProviderRuns int
+	// BonusAnswers counts answers emitted by provider runs.
+	BonusAnswers int
+	// VirtualTuples counts rows across instantiated virtual relations.
+	VirtualTuples int
+}
+
+// Stats returns the plan's preprocessing counters.
+func (p *UnionPlan) Stats() UnionStats { return p.stats }
+
+// NewUnionPlan verifies the certificate and performs the full Theorem 12
+// preprocessing over the instance.
+func NewUnionPlan(u *cq.UCQ, cert *Certificate, inst *database.Instance) (*UnionPlan, error) {
+	if err := cert.Verify(u); err != nil {
+		return nil, err
+	}
+	p := &UnionPlan{
+		U:        u,
+		Cert:     cert,
+		resolved: make(map[*ExtendedCQ]*database.Instance),
+		inst:     inst,
+	}
+	for _, e := range cert.Extensions {
+		extInst, err := p.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := yannakakis.Prepare(e.Query(), extInst, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing %s: %w", e.Base.Name, err)
+		}
+		p.plans = append(p.plans, plan)
+	}
+	p.m = len(p.plans) + p.stats.ProviderRuns + 1
+	return p, nil
+}
+
+// resolve instantiates the virtual relations of e (recursively resolving
+// provider snapshots) and returns an instance overlaying them on the base.
+func (p *UnionPlan) resolve(e *ExtendedCQ) (*database.Instance, error) {
+	if inst, ok := p.resolved[e]; ok {
+		return inst, nil
+	}
+	inst := p.inst.ShallowClone()
+	for _, va := range e.Virtuals {
+		rel, err := p.runProvider(va)
+		if err != nil {
+			return nil, err
+		}
+		rel.Dedup()
+		p.stats.VirtualTuples += rel.Len()
+		inst.AddRelation(rel)
+	}
+	p.resolved[e] = inst
+	return inst, nil
+}
+
+// runProvider executes one Lemma 8 provider enumeration: it prepares the
+// provider snapshot with enumeration set S, extends each S-tuple to a full
+// answer (recording it as a bonus answer of the union), and translates it
+// into the virtual relation through the body-homomorphism.
+func (p *UnionPlan) runProvider(va VirtualAtom) (*database.Relation, error) {
+	prov := va.Prov
+	provInst, err := p.resolve(prov.Provider)
+	if err != nil {
+		return nil, err
+	}
+	pq := prov.Provider.Query()
+	plan, err := yannakakis.Prepare(pq, provInst, prov.S)
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing provider %s: %w", pq.Name, err)
+	}
+	p.stats.ProviderRuns++
+
+	// preimages[k] lists the provider variables v2 ∈ S with h(v2) equal to
+	// the k-th provided variable; their values must agree for a provider
+	// answer to translate (the µ(h⁻¹(v1)) of Lemma 8).
+	preimages := make([][]cq.Variable, len(va.Atom.Vars))
+	for k, v1 := range va.Atom.Vars {
+		for v2 := range prov.S {
+			if prov.Hom.Apply(v2) == v1 {
+				preimages[k] = append(preimages[k], v2)
+			}
+		}
+		if len(preimages[k]) == 0 {
+			return nil, fmt.Errorf("core: provided variable %s has no preimage in S", v1)
+		}
+	}
+
+	rel := database.NewRelation(va.Atom.Rel, len(va.Atom.Vars))
+	row := make(database.Tuple, len(va.Atom.Vars))
+	it := plan.Iterator()
+	for it.Next() {
+		it.Extend()
+		// The extension is a full answer of the provider CQ: emit it.
+		head := make(database.Tuple, len(pq.Head))
+		for i, v := range pq.Head {
+			head[i] = it.Value(v)
+		}
+		p.bonus = append(p.bonus, head)
+		p.stats.BonusAnswers++
+		// Translate: all preimages of a provided variable must agree.
+		ok := true
+		for k, pre := range preimages {
+			val := it.Value(pre[0])
+			for _, v2 := range pre[1:] {
+				if it.Value(v2) != val {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			row[k] = val
+		}
+		if ok {
+			rel.Append(row...)
+		}
+	}
+	return rel, nil
+}
+
+// Explain renders a human-readable description of the union plan: the
+// certified extensions, the provider runs performed during preprocessing,
+// and each member's engine plan.
+func (p *UnionPlan) Explain() string {
+	var b strings.Builder
+	b.WriteString("Theorem 12 union plan\n")
+	b.WriteString("certified extensions:\n")
+	for _, line := range strings.Split(p.Cert.String(), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	st := p.Stats()
+	fmt.Fprintf(&b, "preprocessing: %d provider runs, %d bonus answers, %d virtual tuples\n",
+		st.ProviderRuns, st.BonusAnswers, st.VirtualTuples)
+	fmt.Fprintf(&b, "duplication bound handed to the Cheater combinator: %d\n", p.m)
+	for i, plan := range p.plans {
+		fmt.Fprintf(&b, "-- member %d --\n%s", i, plan.Explain())
+	}
+	return b.String()
+}
+
+// Iterator returns a fresh duplicate-free iterator over the union's
+// answers (head tuples, positional).
+func (p *UnionPlan) Iterator() enumeration.Iterator {
+	its := make([]enumeration.Iterator, 0, len(p.plans)+1)
+	its = append(its, enumeration.NewSliceIterator(p.bonus))
+	for _, plan := range p.plans {
+		its = append(its, &headIterator{it: plan.Iterator()})
+	}
+	return enumeration.NewCheater(enumeration.NewChain(its...), p.m)
+}
+
+// Materialize drains a fresh iterator into a relation.
+func (p *UnionPlan) Materialize() *database.Relation {
+	out := database.NewRelation("union", p.U.Arity())
+	it := p.Iterator()
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out.Append(t...)
+	}
+}
+
+// headIterator adapts a CDY plan iterator to the enumeration.Iterator
+// interface, yielding head tuples.
+type headIterator struct {
+	it *yannakakis.Iterator
+}
+
+func (h *headIterator) Next() (database.Tuple, bool) {
+	if !h.it.Next() {
+		return nil, false
+	}
+	return h.it.HeadTuple(), true
+}
+
+// Contains implements enumeration.Testable via the plan's constant-time
+// membership test.
+func (h *headIterator) Contains(t database.Tuple) bool {
+	return h.it.Plan().ContainsHead(t)
+}
+
+// NewAlgorithmOneUnion evaluates a union of two free-connex CQs with the
+// paper's Algorithm 1 (Theorem 4): constant working memory, no Cheater
+// queue. Both CQs must be free-connex as plain CQs.
+func NewAlgorithmOneUnion(u *cq.UCQ, inst *database.Instance) (enumeration.Iterator, error) {
+	if len(u.CQs) != 2 {
+		return nil, fmt.Errorf("core: Algorithm 1 unions exactly two CQs, got %d", len(u.CQs))
+	}
+	return NewAlgorithmOneUnionK(u, inst)
+}
+
+// NewAlgorithmOneUnionK evaluates a union of any number of free-connex CQs
+// by the recursion in the proof of Theorem 4: Algorithm 1 treats the first
+// CQ as Q1 and the union of the rest as Q2, whose membership test is the
+// disjunction of the members' constant-time tests and whose iterator is
+// the recursive union. Working memory stays constant in the input.
+func NewAlgorithmOneUnionK(u *cq.UCQ, inst *database.Instance) (enumeration.Iterator, error) {
+	if len(u.CQs) == 0 {
+		return nil, fmt.Errorf("core: empty union")
+	}
+	plans := make([]*yannakakis.Plan, len(u.CQs))
+	for i, q := range u.CQs {
+		p, err := yannakakis.Prepare(q, inst, nil)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return algorithmOneChain(plans), nil
+}
+
+// algorithmOneChain builds the Theorem 4 recursion over prepared plans.
+func algorithmOneChain(plans []*yannakakis.Plan) enumeration.Iterator {
+	if len(plans) == 1 {
+		return &headIterator{it: plans[0].Iterator()}
+	}
+	rest := &unionTestable{
+		inner: algorithmOneChain(plans[1:]),
+		plans: plans[1:],
+	}
+	return enumeration.NewAlgorithmOne(&headIterator{it: plans[0].Iterator()}, rest)
+}
+
+// unionTestable is a duplicate-free union iterator with a constant-time
+// membership test: a tuple belongs to the union iff some member plan
+// contains it.
+type unionTestable struct {
+	inner enumeration.Iterator
+	plans []*yannakakis.Plan
+}
+
+func (u *unionTestable) Next() (database.Tuple, bool) { return u.inner.Next() }
+
+func (u *unionTestable) Contains(t database.Tuple) bool {
+	for _, p := range u.plans {
+		if p.ContainsHead(t) {
+			return true
+		}
+	}
+	return false
+}

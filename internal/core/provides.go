@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/cq"
+	"repro/internal/hypergraph"
+)
+
+// ProvidedSets computes the maximal variable sets that CQ j can provide to
+// CQ i per Definition 7, using the plain (unextended) provider: for every
+// body-homomorphism h from Qj to Qi and every S ⊆ free(Qj) with Qj
+// S-connex, the image h(S) is providable — and so is each of its subsets.
+// The returned sets are the inclusion-maximal images, deduplicated, in a
+// deterministic order.
+//
+// This is the introspection companion of the certificate search; the
+// search itself additionally considers extended provider snapshots
+// (Definition 10's recursion).
+func ProvidedSets(u *cq.UCQ, j, i int) []cq.VarSet {
+	if j < 0 || i < 0 || j >= len(u.CQs) || i >= len(u.CQs) {
+		return nil
+	}
+	hc := newHomCache(u)
+	homs := hc.homs(j, i)
+	if len(homs) == 0 {
+		return nil
+	}
+	provider := u.CQs[j]
+	ph := hypergraph.FromCQ(provider)
+	if !ph.IsAcyclic() {
+		return nil
+	}
+	freeVars := provider.Free().Sorted()
+
+	var images []cq.VarSet
+	for _, h := range homs {
+		for mask := 1; mask < 1<<len(freeVars); mask++ {
+			s := make(cq.VarSet)
+			for b, v := range freeVars {
+				if mask&(1<<b) != 0 {
+					s[v] = true
+				}
+			}
+			if !ph.WithEdge(s).IsAcyclic() {
+				continue
+			}
+			images = append(images, h.ApplySet(s))
+		}
+	}
+	// Keep inclusion-maximal images only, deduplicated.
+	var out []cq.VarSet
+	for _, img := range images {
+		dominated := false
+		for _, other := range images {
+			if !other.Equal(img) && other.ContainsAll(img) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if prev.Equal(img) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, img)
+		}
+	}
+	return out
+}
+
+// CanProvide reports whether CQ j can provide the exact variable set v1 to
+// CQ i (as a subset of some maximal provided set).
+func CanProvide(u *cq.UCQ, j, i int, v1 cq.VarSet) bool {
+	for _, m := range ProvidedSets(u, j, i) {
+		if m.ContainsAll(v1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestProvidedSetsExample2(t *testing.T) {
+	u := cq.MustParse(example2)
+	// The paper: Q2 provides {x,z,y} to Q1.
+	if !CanProvide(u, 1, 0, cq.NewVarSet("x", "z", "y")) {
+		t.Errorf("Q2 should provide {x,y,z} to Q1; maximal sets: %v", ProvidedSets(u, 1, 0))
+	}
+	// Q1 provides nothing useful to Q2 beyond what Q2 already has; there
+	// is no body-homomorphism from Q1 to Q2 (R3 is missing).
+	if got := ProvidedSets(u, 0, 1); got != nil {
+		t.Errorf("Q1 should provide nothing to Q2, got %v", got)
+	}
+}
+
+func TestProvidedSetsExample13(t *testing.T) {
+	u := cq.MustParse(example13)
+	// The paper: Q2 provides {x,z1,y} to Q3 and Q3 provides {v,z1,u} to Q2.
+	if !CanProvide(u, 1, 2, cq.NewVarSet("x", "z1", "y")) {
+		t.Errorf("Q2 should provide {x,z1,y} to Q3; got %v", ProvidedSets(u, 1, 2))
+	}
+	if !CanProvide(u, 2, 1, cq.NewVarSet("v", "z1", "u")) {
+		t.Errorf("Q3 should provide {v,z1,u} to Q2; got %v", ProvidedSets(u, 2, 1))
+	}
+}
+
+func TestProvidedSetsExample36(t *testing.T) {
+	u := cq.MustParse(example36)
+	// The paper: Q2 provides {t,y,z,w} to Q1.
+	if !CanProvide(u, 1, 0, cq.NewVarSet("t", "y", "z", "w")) {
+		t.Errorf("Q2 should provide {t,y,z,w} to Q1; got %v", ProvidedSets(u, 1, 0))
+	}
+}
+
+func TestProvidedSetsSelfProvision(t *testing.T) {
+	// A free-connex CQ provides its own free variables to itself via the
+	// identity body-homomorphism.
+	u := cq.MustParse("Q(x,y) <- R(x,y), S(y,w).")
+	if !CanProvide(u, 0, 0, cq.NewVarSet("x", "y")) {
+		t.Errorf("self-provision of the free variables failed: %v", ProvidedSets(u, 0, 0))
+	}
+}
+
+func TestProvidedSetsCyclicProviderGivesNothing(t *testing.T) {
+	u := cq.MustParse(`
+		Q1(x,y) <- R1(x,y), R2(y,z), R3(z,x).
+		Q2(x,y) <- R1(x,y), R2(y,z), R3(z,x).
+	`)
+	// A cyclic provider is never S-connex for any S.
+	if got := ProvidedSets(u, 1, 0); got != nil {
+		t.Errorf("cyclic provider provided %v", got)
+	}
+}
+
+func TestProvidedSetsBounds(t *testing.T) {
+	u := cq.MustParse("Q(x) <- R(x).")
+	if ProvidedSets(u, -1, 0) != nil || ProvidedSets(u, 0, 5) != nil {
+		t.Errorf("out-of-range indices not rejected")
+	}
+}
+
+func TestProvidedSetsAreMaximal(t *testing.T) {
+	u := cq.MustParse(example2)
+	sets := ProvidedSets(u, 1, 0)
+	for i, a := range sets {
+		for j, b := range sets {
+			if i != j && b.ContainsAll(a) && !a.Equal(b) {
+				t.Errorf("set %v dominated by %v", a, b)
+			}
+			if i != j && a.Equal(b) {
+				t.Errorf("duplicate maximal set %v", a)
+			}
+		}
+	}
+}

@@ -1,0 +1,552 @@
+// Package cq defines the abstract syntax of conjunctive queries (CQs) and
+// unions of conjunctive queries (UCQs) exactly as used in Carmeli & Kröll,
+// "On the Enumeration Complexity of Unions of Conjunctive Queries" (PODS'19).
+//
+// A CQ is an expression
+//
+//	Q(p⃗) ← R1(v⃗1), ..., Rm(v⃗m)
+//
+// over a relational schema, where every head variable occurs in the body. A
+// UCQ is a finite set of CQs whose heads have the same arity; its answers are
+// the union of the answers of its members, read positionally from the heads.
+//
+// The package provides construction, validation, canonical printing, and a
+// small datalog-style parser. Hypergraph structure, homomorphisms and
+// evaluation live in sibling packages.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Variable is a query variable. Variables are compared by name; the empty
+// string is not a valid variable.
+type Variable string
+
+// VarSet is a set of variables.
+type VarSet map[Variable]bool
+
+// NewVarSet builds a set from the given variables.
+func NewVarSet(vs ...Variable) VarSet {
+	s := make(VarSet, len(vs))
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+// Contains reports whether v is in the set.
+func (s VarSet) Contains(v Variable) bool { return s[v] }
+
+// ContainsAll reports whether every variable of t is in s.
+func (s VarSet) ContainsAll(t VarSet) bool {
+	for v := range t {
+		if !s[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts v.
+func (s VarSet) Add(v Variable) { s[v] = true }
+
+// AddAll inserts every variable of t.
+func (s VarSet) AddAll(t VarSet) {
+	for v := range t {
+		s[v] = true
+	}
+}
+
+// Union returns a fresh set holding s ∪ t.
+func (s VarSet) Union(t VarSet) VarSet {
+	u := make(VarSet, len(s)+len(t))
+	u.AddAll(s)
+	u.AddAll(t)
+	return u
+}
+
+// Intersect returns a fresh set holding s ∩ t.
+func (s VarSet) Intersect(t VarSet) VarSet {
+	u := make(VarSet)
+	for v := range s {
+		if t[v] {
+			u[v] = true
+		}
+	}
+	return u
+}
+
+// Minus returns a fresh set holding s \ t.
+func (s VarSet) Minus(t VarSet) VarSet {
+	u := make(VarSet)
+	for v := range s {
+		if !t[v] {
+			u[v] = true
+		}
+	}
+	return u
+}
+
+// Equal reports whether s and t hold the same variables.
+func (s VarSet) Equal(t VarSet) bool {
+	return len(s) == len(t) && s.ContainsAll(t)
+}
+
+// Sorted returns the variables in lexicographic order.
+func (s VarSet) Sorted() []Variable {
+	out := make([]Variable, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy of s.
+func (s VarSet) Clone() VarSet {
+	u := make(VarSet, len(s))
+	u.AddAll(s)
+	return u
+}
+
+// String renders the set as {a,b,c} in sorted order.
+func (s VarSet) String() string {
+	vs := s.Sorted()
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Atom is a relational atom R(v1, ..., vk). Virtual atoms introduced by
+// union extensions (Definition 10 of the paper) are ordinary Atoms whose
+// Virtual flag is set; their relation symbols are fresh by construction.
+type Atom struct {
+	// Rel is the relation symbol.
+	Rel string
+	// Vars are the argument variables, in positional order. A variable may
+	// repeat within an atom.
+	Vars []Variable
+	// Virtual marks auxiliary atoms added by union extensions. Virtual
+	// atoms are ignored by body-homomorphism search on original bodies and
+	// carry relations computed from other CQs' answers.
+	Virtual bool
+}
+
+// Arity returns the number of argument positions.
+func (a Atom) Arity() int { return len(a.Vars) }
+
+// VarSet returns the set of variables occurring in the atom.
+func (a Atom) VarSet() VarSet {
+	s := make(VarSet, len(a.Vars))
+	for _, v := range a.Vars {
+		s[v] = true
+	}
+	return s
+}
+
+// HasVar reports whether v occurs in the atom.
+func (a Atom) HasVar(v Variable) bool {
+	for _, u := range a.Vars {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports positional equality of two atoms (same symbol, same
+// variables in the same order, same virtual flag).
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || a.Virtual != b.Virtual || len(a.Vars) != len(b.Vars) {
+		return false
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the atom.
+func (a Atom) Clone() Atom {
+	vars := make([]Variable, len(a.Vars))
+	copy(vars, a.Vars)
+	return Atom{Rel: a.Rel, Vars: vars, Virtual: a.Virtual}
+}
+
+// String renders the atom as R(x,y,z).
+func (a Atom) String() string {
+	parts := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		parts[i] = string(v)
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// CQ is a conjunctive query Q(p⃗) ← R1(v⃗1), ..., Rm(v⃗m).
+type CQ struct {
+	// Name is the head predicate name (used for printing and provenance).
+	Name string
+	// Head lists the free variables in head order. Head variables may
+	// repeat; Free() returns the underlying set.
+	Head []Variable
+	// Atoms is the body. It must be non-empty for a well-formed query.
+	Atoms []Atom
+}
+
+// NewCQ constructs a CQ and validates it.
+func NewCQ(name string, head []Variable, atoms []Atom) (*CQ, error) {
+	q := &CQ{Name: name, Head: head, Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCQ is NewCQ that panics on invalid input; intended for tests and
+// statically-known queries.
+func MustCQ(name string, head []Variable, atoms []Atom) *CQ {
+	q, err := NewCQ(name, head, atoms)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Free returns the set of free (head) variables.
+func (q *CQ) Free() VarSet {
+	s := make(VarSet, len(q.Head))
+	for _, v := range q.Head {
+		s[v] = true
+	}
+	return s
+}
+
+// Vars returns var(Q): every variable occurring in the body.
+func (q *CQ) Vars() VarSet {
+	s := make(VarSet)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			s[v] = true
+		}
+	}
+	return s
+}
+
+// ExistentialVars returns var(Q) \ free(Q).
+func (q *CQ) ExistentialVars() VarSet {
+	return q.Vars().Minus(q.Free())
+}
+
+// IsBoolean reports whether the query has an empty head.
+func (q *CQ) IsBoolean() bool { return len(q.Head) == 0 }
+
+// IsFull reports whether every body variable is free.
+func (q *CQ) IsFull() bool { return q.Free().Equal(q.Vars()) }
+
+// SelfJoinFree reports whether no relation symbol occurs in two atoms.
+// Virtual atoms participate: their symbols are fresh so they never collide.
+func (q *CQ) SelfJoinFree() bool {
+	seen := make(map[string]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if seen[a.Rel] {
+			return false
+		}
+		seen[a.Rel] = true
+	}
+	return true
+}
+
+// OriginalAtoms returns the non-virtual atoms of the body.
+func (q *CQ) OriginalAtoms() []Atom {
+	out := make([]Atom, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if !a.Virtual {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// VirtualAtoms returns the virtual atoms of the body.
+func (q *CQ) VirtualAtoms() []Atom {
+	var out []Atom
+	for _, a := range q.Atoms {
+		if a.Virtual {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AtomsWith returns the indices of atoms containing v.
+func (q *CQ) AtomsWith(v Variable) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if a.HasVar(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Neighbors reports whether u and v occur together in some atom. A variable
+// is its own neighbor if it occurs in the query.
+func (q *CQ) Neighbors(u, v Variable) bool {
+	for _, a := range q.Atoms {
+		if a.HasVar(u) && a.HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the query.
+func (q *CQ) Clone() *CQ {
+	head := make([]Variable, len(q.Head))
+	copy(head, q.Head)
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Clone()
+	}
+	return &CQ{Name: q.Name, Head: head, Atoms: atoms}
+}
+
+// Substitution maps variables to variables.
+type Substitution map[Variable]Variable
+
+// Apply returns h(v), defaulting to v when unmapped.
+func (h Substitution) Apply(v Variable) Variable {
+	if u, ok := h[v]; ok {
+		return u
+	}
+	return v
+}
+
+// ApplyAll maps a slice of variables.
+func (h Substitution) ApplyAll(vs []Variable) []Variable {
+	out := make([]Variable, len(vs))
+	for i, v := range vs {
+		out[i] = h.Apply(v)
+	}
+	return out
+}
+
+// ApplySet maps a set of variables.
+func (h Substitution) ApplySet(s VarSet) VarSet {
+	out := make(VarSet, len(s))
+	for v := range s {
+		out[h.Apply(v)] = true
+	}
+	return out
+}
+
+// Compose returns the substitution v ↦ g(h(v)) for all v in h's domain and
+// g's domain.
+func (h Substitution) Compose(g Substitution) Substitution {
+	out := make(Substitution, len(h)+len(g))
+	for v, u := range h {
+		out[v] = g.Apply(u)
+	}
+	for v, u := range g {
+		if _, ok := out[v]; !ok {
+			out[v] = u
+		}
+	}
+	return out
+}
+
+// Rename applies a variable substitution to the whole query (head and body)
+// and returns the renamed copy.
+func (q *CQ) Rename(h Substitution) *CQ {
+	out := q.Clone()
+	for i, v := range out.Head {
+		out.Head[i] = h.Apply(v)
+	}
+	for i := range out.Atoms {
+		out.Atoms[i].Vars = h.ApplyAll(out.Atoms[i].Vars)
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: non-empty body, valid names,
+// and every head variable occurring in some atom.
+func (q *CQ) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("cq: query has empty name")
+	}
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("cq: query %s has an empty body", q.Name)
+	}
+	vars := q.Vars()
+	for _, v := range q.Head {
+		if v == "" {
+			return fmt.Errorf("cq: query %s has an empty head variable", q.Name)
+		}
+		if !vars[v] {
+			return fmt.Errorf("cq: head variable %s of %s does not occur in the body", v, q.Name)
+		}
+	}
+	for _, a := range q.Atoms {
+		if a.Rel == "" {
+			return fmt.Errorf("cq: query %s has an atom with empty relation symbol", q.Name)
+		}
+		if len(a.Vars) == 0 {
+			return fmt.Errorf("cq: atom %s in %s has no arguments", a.Rel, q.Name)
+		}
+		for _, v := range a.Vars {
+			if v == "" {
+				return fmt.Errorf("cq: atom %s in %s has an empty variable", a.Rel, q.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the query as Q(x,y) <- R(x,z), S(z,y).
+func (q *CQ) String() string {
+	var b strings.Builder
+	b.WriteString(q.Name)
+	b.WriteByte('(')
+	for i, v := range q.Head {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(v))
+	}
+	b.WriteString(") <- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// UCQ is a union of conjunctive queries with positionally-matched heads.
+type UCQ struct {
+	CQs []*CQ
+}
+
+// NewUCQ constructs a UCQ and validates it.
+func NewUCQ(cqs ...*CQ) (*UCQ, error) {
+	u := &UCQ{CQs: cqs}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// MustUCQ is NewUCQ that panics on invalid input.
+func MustUCQ(cqs ...*CQ) *UCQ {
+	u, err := NewUCQ(cqs...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Arity returns the shared head arity.
+func (u *UCQ) Arity() int {
+	if len(u.CQs) == 0 {
+		return 0
+	}
+	return len(u.CQs[0].Head)
+}
+
+// Validate checks every member CQ and that all heads share one arity and
+// that relation symbols have consistent arities across the union (they are
+// evaluated over one schema).
+func (u *UCQ) Validate() error {
+	if len(u.CQs) == 0 {
+		return fmt.Errorf("cq: UCQ has no disjuncts")
+	}
+	arity := len(u.CQs[0].Head)
+	relArity := make(map[string]int)
+	for _, q := range u.CQs {
+		if q == nil {
+			return fmt.Errorf("cq: UCQ contains a nil CQ")
+		}
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if len(q.Head) != arity {
+			return fmt.Errorf("cq: head arity mismatch: %s has %d, %s has %d",
+				u.CQs[0].Name, arity, q.Name, len(q.Head))
+		}
+		for _, a := range q.Atoms {
+			if a.Virtual {
+				continue
+			}
+			if prev, ok := relArity[a.Rel]; ok && prev != len(a.Vars) {
+				return fmt.Errorf("cq: relation %s used with arities %d and %d", a.Rel, prev, len(a.Vars))
+			}
+			relArity[a.Rel] = len(a.Vars)
+		}
+	}
+	return nil
+}
+
+// SelfJoinFree reports whether every member CQ is self-join free.
+func (u *UCQ) SelfJoinFree() bool {
+	for _, q := range u.CQs {
+		if !q.SelfJoinFree() {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema returns the relation symbols used by original atoms across the
+// union, with their arities, in sorted symbol order.
+func (u *UCQ) Schema() []RelDecl {
+	arity := make(map[string]int)
+	for _, q := range u.CQs {
+		for _, a := range q.Atoms {
+			if !a.Virtual {
+				arity[a.Rel] = len(a.Vars)
+			}
+		}
+	}
+	syms := make([]string, 0, len(arity))
+	for s := range arity {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	out := make([]RelDecl, len(syms))
+	for i, s := range syms {
+		out[i] = RelDecl{Name: s, Arity: arity[s]}
+	}
+	return out
+}
+
+// RelDecl is a relation symbol with its arity.
+type RelDecl struct {
+	Name  string
+	Arity int
+}
+
+// Clone returns a deep copy of the union.
+func (u *UCQ) Clone() *UCQ {
+	cqs := make([]*CQ, len(u.CQs))
+	for i, q := range u.CQs {
+		cqs[i] = q.Clone()
+	}
+	return &UCQ{CQs: cqs}
+}
+
+// String renders the union one rule per line.
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.CQs))
+	for i, q := range u.CQs {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,314 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVarSetOps(t *testing.T) {
+	s := NewVarSet("x", "y")
+	u := NewVarSet("y", "z")
+	if !s.Contains("x") || s.Contains("z") {
+		t.Fatalf("contains broken")
+	}
+	if got := s.Union(u); !got.Equal(NewVarSet("x", "y", "z")) {
+		t.Errorf("union = %v", got)
+	}
+	if got := s.Intersect(u); !got.Equal(NewVarSet("y")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := s.Minus(u); !got.Equal(NewVarSet("x")) {
+		t.Errorf("minus = %v", got)
+	}
+	if s.Equal(u) {
+		t.Errorf("unequal sets reported equal")
+	}
+	if got := NewVarSet("b", "a", "c").String(); got != "{a,b,c}" {
+		t.Errorf("String = %q", got)
+	}
+	c := s.Clone()
+	c.Add("w")
+	if s.Contains("w") {
+		t.Errorf("clone aliases original")
+	}
+}
+
+func TestVarSetSortedAndContainsAll(t *testing.T) {
+	s := NewVarSet("c", "a", "b")
+	got := s.Sorted()
+	want := []Variable{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v", got)
+		}
+	}
+	if !s.ContainsAll(NewVarSet("a", "b")) {
+		t.Errorf("ContainsAll subset failed")
+	}
+	if s.ContainsAll(NewVarSet("a", "z")) {
+		t.Errorf("ContainsAll superset passed")
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := Atom{Rel: "R", Vars: []Variable{"x", "y", "x"}}
+	if a.Arity() != 3 {
+		t.Errorf("arity = %d", a.Arity())
+	}
+	if !a.VarSet().Equal(NewVarSet("x", "y")) {
+		t.Errorf("varset = %v", a.VarSet())
+	}
+	if !a.HasVar("x") || a.HasVar("z") {
+		t.Errorf("HasVar broken")
+	}
+	if a.String() != "R(x,y,x)" {
+		t.Errorf("String = %q", a.String())
+	}
+	b := a.Clone()
+	b.Vars[0] = "z"
+	if a.Vars[0] != "x" {
+		t.Errorf("clone aliases original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Errorf("Equal(clone) = false")
+	}
+	if a.Equal(Atom{Rel: "R", Vars: []Variable{"x", "y"}}) {
+		t.Errorf("Equal ignored arity")
+	}
+	if a.Equal(Atom{Rel: "R", Vars: []Variable{"x", "y", "x"}, Virtual: true}) {
+		t.Errorf("Equal ignored virtual flag")
+	}
+}
+
+func TestCQAccessors(t *testing.T) {
+	q := MustParseCQ("Q(x,y) <- R(x,z), S(z,y).")
+	if !q.Free().Equal(NewVarSet("x", "y")) {
+		t.Errorf("free = %v", q.Free())
+	}
+	if !q.Vars().Equal(NewVarSet("x", "y", "z")) {
+		t.Errorf("vars = %v", q.Vars())
+	}
+	if !q.ExistentialVars().Equal(NewVarSet("z")) {
+		t.Errorf("existential = %v", q.ExistentialVars())
+	}
+	if q.IsBoolean() || q.IsFull() {
+		t.Errorf("boolean/full flags wrong")
+	}
+	if !q.SelfJoinFree() {
+		t.Errorf("self-join free query misreported")
+	}
+	if got := q.AtomsWith("z"); len(got) != 2 {
+		t.Errorf("AtomsWith(z) = %v", got)
+	}
+	if !q.Neighbors("x", "z") || q.Neighbors("x", "y") {
+		t.Errorf("Neighbors wrong")
+	}
+}
+
+func TestCQSelfJoin(t *testing.T) {
+	q := MustParseCQ("Q(x) <- R(x,y), R(y,x).")
+	if q.SelfJoinFree() {
+		t.Errorf("self-join not detected")
+	}
+}
+
+func TestCQFullAndBoolean(t *testing.T) {
+	full := MustParseCQ("Q(x,y) <- R(x,y).")
+	if !full.IsFull() {
+		t.Errorf("full query not detected")
+	}
+	boolean := MustParseCQ("Q() <- R(x,y).")
+	if !boolean.IsBoolean() {
+		t.Errorf("boolean query not detected")
+	}
+}
+
+func TestRenameAndClone(t *testing.T) {
+	q := MustParseCQ("Q(x,y) <- R(x,z), S(z,y).")
+	h := Substitution{"x": "a", "z": "c"}
+	r := q.Rename(h)
+	if r.String() != "Q(a,y) <- R(a,c), S(c,y)" {
+		t.Errorf("rename = %q", r.String())
+	}
+	// Original untouched.
+	if q.String() != "Q(x,y) <- R(x,z), S(z,y)" {
+		t.Errorf("rename mutated original: %q", q.String())
+	}
+}
+
+func TestSubstitutionCompose(t *testing.T) {
+	h := Substitution{"x": "y"}
+	g := Substitution{"y": "z", "w": "u"}
+	c := h.Compose(g)
+	if c.Apply("x") != "z" || c.Apply("w") != "u" || c.Apply("q") != "q" {
+		t.Errorf("compose = %v", c)
+	}
+	if got := c.ApplySet(NewVarSet("x", "w")); !got.Equal(NewVarSet("z", "u")) {
+		t.Errorf("ApplySet = %v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *CQ
+		want string
+	}{
+		{"empty name", &CQ{Name: "", Head: nil, Atoms: []Atom{{Rel: "R", Vars: []Variable{"x"}}}}, "empty name"},
+		{"empty body", &CQ{Name: "Q"}, "empty body"},
+		{"head not in body", &CQ{Name: "Q", Head: []Variable{"y"}, Atoms: []Atom{{Rel: "R", Vars: []Variable{"x"}}}}, "does not occur"},
+		{"empty rel", &CQ{Name: "Q", Atoms: []Atom{{Rel: "", Vars: []Variable{"x"}}}}, "empty relation"},
+		{"no args", &CQ{Name: "Q", Atoms: []Atom{{Rel: "R"}}}, "no arguments"},
+		{"empty var", &CQ{Name: "Q", Atoms: []Atom{{Rel: "R", Vars: []Variable{""}}}}, "empty variable"},
+	}
+	for _, tc := range cases {
+		err := tc.q.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestUCQValidate(t *testing.T) {
+	if _, err := NewUCQ(); err == nil {
+		t.Errorf("empty UCQ accepted")
+	}
+	q1 := MustParseCQ("Q1(x,y) <- R(x,y).")
+	q2 := MustParseCQ("Q2(x) <- R(x,x).")
+	if _, err := NewUCQ(q1, q2); err == nil || !strings.Contains(err.Error(), "arity mismatch") {
+		t.Errorf("head arity mismatch not caught: %v", err)
+	}
+	q3 := MustParseCQ("Q3(x,y) <- R(x,y,y).")
+	if _, err := NewUCQ(q1, q3); err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Errorf("relation arity mismatch not caught: %v", err)
+	}
+	if _, err := NewUCQ(q1, nil); err == nil {
+		t.Errorf("nil CQ accepted")
+	}
+}
+
+func TestUCQSchema(t *testing.T) {
+	u := MustParse(`
+		Q1(x,y) <- R(x,z), S(z,y).
+		Q2(x,y) <- R(x,y), T(y).
+	`)
+	decls := u.Schema()
+	want := []RelDecl{{"R", 2}, {"S", 2}, {"T", 1}}
+	if len(decls) != len(want) {
+		t.Fatalf("schema = %v", decls)
+	}
+	for i := range want {
+		if decls[i] != want[i] {
+			t.Errorf("schema[%d] = %v, want %v", i, decls[i], want[i])
+		}
+	}
+	if u.Arity() != 2 {
+		t.Errorf("arity = %d", u.Arity())
+	}
+	if !u.SelfJoinFree() {
+		t.Errorf("self-join-free union misreported")
+	}
+}
+
+func TestUCQClone(t *testing.T) {
+	u := MustParse("Q(x,y) <- R(x,y).")
+	c := u.Clone()
+	c.CQs[0].Atoms[0].Vars[0] = "w"
+	if u.CQs[0].Atoms[0].Vars[0] != "x" {
+		t.Errorf("clone aliases original")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"Q(x,y) <- R(x,z), S(z,y)",
+		"Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w)\nQ2(x,y,w) <- R1(x,y), R2(y,w)",
+		"Q() <- R(x,y)",
+	}
+	for _, src := range srcs {
+		u := MustParse(src)
+		re := MustParse(u.String())
+		if re.String() != u.String() {
+			t.Errorf("round trip: %q -> %q", u.String(), re.String())
+		}
+	}
+}
+
+func TestParseSyntaxVariants(t *testing.T) {
+	variants := []string{
+		"Q(x,y) <- R(x,y).",
+		"Q(x,y) :- R(x,y).",
+		"Q(x, y) <- R(x , y)",
+		"# leading comment\nQ(x,y) <- R(x,y). % trailing\n",
+		"// comment\nQ(x,y) <- R(x,y)",
+	}
+	for _, src := range variants {
+		u, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		if got := u.CQs[0].String(); got != "Q(x,y) <- R(x,y)" {
+			t.Errorf("parse %q = %q", src, got)
+		}
+	}
+}
+
+func TestParseMultipleRulesWithoutPeriods(t *testing.T) {
+	u := MustParse(`
+		Q1(x,y) <- R1(x,z), R2(z,y)
+		Q2(x,y) <- R1(x,y), R2(y,y)
+	`)
+	if len(u.CQs) != 2 {
+		t.Fatalf("got %d rules", len(u.CQs))
+	}
+	if u.CQs[1].Name != "Q2" {
+		t.Errorf("second rule = %q", u.CQs[1].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x,y)",
+		"Q(x,y) <-",
+		"Q(x,y) <- R()",
+		"Q(x,y) <- R(x,",
+		"Q(x,y R(x,y)",
+		"Q(x,y) = R(x,y)",
+		"Q(x,y) <- R(x,y) &",
+		"1Q(x) <- R(x)",
+		"Q(x,y) <- R(x,z)", // head var y not in body
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCQRejectsUnions(t *testing.T) {
+	if _, err := ParseCQ("Q(x) <- R(x). Q(x) <- S(x)."); err == nil {
+		t.Errorf("ParseCQ accepted two rules")
+	}
+}
+
+func TestOriginalAndVirtualAtoms(t *testing.T) {
+	q := MustParseCQ("Q(x,y) <- R(x,z), S(z,y).")
+	q.Atoms = append(q.Atoms, Atom{Rel: "P0", Vars: []Variable{"x", "z"}, Virtual: true})
+	if n := len(q.OriginalAtoms()); n != 2 {
+		t.Errorf("original atoms = %d", n)
+	}
+	if n := len(q.VirtualAtoms()); n != 1 {
+		t.Errorf("virtual atoms = %d", n)
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("garbage(")
+}

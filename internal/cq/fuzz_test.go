@@ -1,0 +1,77 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup to the parser: it must
+// return a query or an error, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	alphabet := []byte("Qq(),.<-:_ \n\tRxyzw123%#/")
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", b, r)
+			}
+		}()
+		_, _ = Parse(string(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseRandomValidQueriesRoundTrip generates random syntactically
+// valid rules and checks Parse ∘ String is the identity on rendered form.
+func TestParseRandomValidQueriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	varNames := []string{"x", "y", "z", "w", "u", "v"}
+	for trial := 0; trial < 200; trial++ {
+		var b strings.Builder
+		nAtoms := 1 + rng.Intn(4)
+		used := map[string]bool{}
+		var bodyVars []string
+		atoms := make([]string, nAtoms)
+		for i := range atoms {
+			arity := 1 + rng.Intn(3)
+			args := make([]string, arity)
+			for j := range args {
+				v := varNames[rng.Intn(len(varNames))]
+				args[j] = v
+				if !used[v] {
+					used[v] = true
+					bodyVars = append(bodyVars, v)
+				}
+			}
+			atoms[i] = "R" + string(rune('0'+i)) + "(" + strings.Join(args, ",") + ")"
+		}
+		headN := rng.Intn(len(bodyVars) + 1)
+		head := make([]string, headN)
+		perm := rng.Perm(len(bodyVars))
+		for j := 0; j < headN; j++ {
+			head[j] = bodyVars[perm[j]]
+		}
+		b.WriteString("Q(" + strings.Join(head, ",") + ") <- " + strings.Join(atoms, ", "))
+		src := b.String()
+		u, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, src, err)
+		}
+		re, err := Parse(u.String())
+		if err != nil {
+			t.Fatalf("trial %d: reparse %q: %v", trial, u.String(), err)
+		}
+		if re.String() != u.String() {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, u.String(), re.String())
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a UCQ in datalog-style concrete syntax. Each rule has the form
+//
+//	Q(x, y) <- R(x, z), S(z, y).
+//
+// with `:-` accepted as a synonym for `<-` and the trailing period optional.
+// Line comments start with `#`, `//` or `%`. Rules may share a head name or
+// use distinct names; all heads must have the same arity. Boolean rules are
+// written with an empty head: `Q() <- R(x)`.
+func Parse(src string) (*UCQ, error) {
+	p := &parser{src: src, line: 1}
+	var cqs []*CQ
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		q, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		cqs = append(cqs, q)
+	}
+	if len(cqs) == 0 {
+		return nil, fmt.Errorf("cq: no rules in input")
+	}
+	return NewUCQ(cqs...)
+}
+
+// ParseCQ parses a single rule and returns it as a CQ. It is an error for
+// the input to contain more than one rule.
+func ParseCQ(src string) (*CQ, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.CQs) != 1 {
+		return nil, fmt.Errorf("cq: expected a single rule, got %d", len(u.CQs))
+	}
+	return u.CQs[0], nil
+}
+
+// MustParse is Parse panicking on error; for tests and statically-known
+// query literals.
+func MustParse(src string) *UCQ {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// MustParseCQ is ParseCQ panicking on error.
+func MustParseCQ(src string) *CQ {
+	q, err := ParseCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cq: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '#' || c == '%':
+			p.skipLine()
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			p.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) skipLine() {
+	for !p.eof() && p.peek() != '\n' {
+		p.advance()
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	if p.eof() || !isIdentStart(p.peek()) {
+		return "", p.errf("expected identifier, found %q", string(p.peek()))
+	}
+	start := p.pos
+	for !p.eof() && isIdentPart(p.peek()) {
+		p.advance()
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		end := p.pos + 8
+		if end > len(p.src) {
+			end = len(p.src)
+		}
+		return p.errf("expected %q, found %q", tok, p.src[p.pos:end])
+	}
+	for range tok {
+		p.advance()
+	}
+	return nil
+}
+
+func (p *parser) varList(close byte) ([]Variable, error) {
+	var vars []Variable
+	p.skipSpace()
+	if p.peek() == close {
+		p.advance()
+		return vars, nil
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, Variable(name))
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.advance()
+		case close:
+			p.advance()
+			return vars, nil
+		default:
+			return nil, p.errf("expected ',' or '%c' in argument list, found %q", close, string(p.peek()))
+		}
+	}
+}
+
+func (p *parser) rule() (*CQ, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	head, err := p.varList(')')
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "<-") {
+		p.pos += 2
+	} else if strings.HasPrefix(p.src[p.pos:], ":-") {
+		p.pos += 2
+	} else {
+		return nil, p.errf("expected '<-' or ':-' after head of %s", name)
+	}
+	var atoms []Atom
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		args, err := p.varList(')')
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, p.errf("atom %s has no arguments", rel)
+		}
+		atoms = append(atoms, Atom{Rel: rel, Vars: args})
+		p.skipSpace()
+		switch {
+		case p.peek() == ',':
+			p.advance()
+		case p.peek() == '.':
+			p.advance()
+			return NewCQ(name, head, atoms)
+		case p.eof() || isIdentStart(p.peek()):
+			// End of rule without a period: next token starts a new rule
+			// (or input ends).
+			return NewCQ(name, head, atoms)
+		default:
+			return nil, p.errf("unexpected %q after atom", string(p.peek()))
+		}
+	}
+}

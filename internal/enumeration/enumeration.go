@@ -1,0 +1,278 @@
+// Package enumeration provides the enumeration-algorithm toolkit of the
+// paper's upper-bound proofs: the answer-stream Iterator abstraction, the
+// Cheater's Lemma combinator (Lemma 5), Algorithm 1 for unions of two
+// tractable CQs (Theorem 4), generic concatenation, and wall-clock delay
+// instrumentation used by the experiment harness.
+package enumeration
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/database"
+)
+
+// Iterator is a stream of answer tuples. Next returns the next tuple and
+// true, or nil and false once exhausted. Iterators are single-use and not
+// safe for concurrent use.
+type Iterator interface {
+	Next() (database.Tuple, bool)
+}
+
+// Testable is an iterator whose underlying answer set supports a
+// constant-time membership test (free-connex CQ plans do, after their
+// linear preprocessing).
+type Testable interface {
+	Iterator
+	Contains(database.Tuple) bool
+}
+
+// SliceIterator yields a fixed slice of tuples.
+type SliceIterator struct {
+	tuples []database.Tuple
+	pos    int
+}
+
+// NewSliceIterator builds an iterator over the given tuples (not copied).
+func NewSliceIterator(tuples []database.Tuple) *SliceIterator {
+	return &SliceIterator{tuples: tuples}
+}
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (database.Tuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return nil, false
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Func adapts a function to the Iterator interface.
+type Func func() (database.Tuple, bool)
+
+// Next implements Iterator.
+func (f Func) Next() (database.Tuple, bool) { return f() }
+
+// Chain concatenates iterators.
+type Chain struct {
+	its []Iterator
+	pos int
+}
+
+// NewChain builds the concatenation of the given iterators.
+func NewChain(its ...Iterator) *Chain { return &Chain{its: its} }
+
+// Next implements Iterator.
+func (c *Chain) Next() (database.Tuple, bool) {
+	for c.pos < len(c.its) {
+		if t, ok := c.its[c.pos].Next(); ok {
+			return t, true
+		}
+		c.pos++
+	}
+	return nil, false
+}
+
+// Cheater is the Cheater's Lemma combinator (Lemma 5). It wraps an inner
+// iterator that may produce every result up to m times and stall (delay
+// linearly) a bounded number of times, and turns it into a duplicate-free
+// stream: a lookup table filters repeats and a FIFO queue buffers fresh
+// results, pulling up to m inner results per emitted answer. With the
+// lemma's preconditions (inner duplication ≤ m, constantly many stalls) the
+// emitted stream has linear preprocessing and constant delay.
+type Cheater struct {
+	inner Iterator
+	m     int
+	seen  map[string]bool
+	queue []database.Tuple
+	head  int
+	// Stats.
+	pulled     int
+	duplicates int
+}
+
+// NewCheater wraps inner with duplication bound m (m ≥ 1). Use the number
+// of CQs plus virtual atoms per CQ for Theorem 12 pipelines.
+func NewCheater(inner Iterator, m int) *Cheater {
+	if m < 1 {
+		m = 1
+	}
+	return &Cheater{inner: inner, m: m, seen: make(map[string]bool)}
+}
+
+// Next implements Iterator: duplicate-free, order of first occurrence.
+func (c *Cheater) Next() (database.Tuple, bool) {
+	// Pull up to m inner results, enqueueing fresh ones.
+	for i := 0; i < c.m; i++ {
+		t, ok := c.inner.Next()
+		if !ok {
+			break
+		}
+		c.pulled++
+		k := t.Key()
+		if c.seen[k] {
+			c.duplicates++
+			continue
+		}
+		c.seen[k] = true
+		c.queue = append(c.queue, t.Clone())
+	}
+	if c.head < len(c.queue) {
+		t := c.queue[c.head]
+		c.head++
+		return t, true
+	}
+	// The queue drained faster than the inner stream produced fresh
+	// results; keep pulling until a fresh one arrives or the inner stream
+	// ends. Under the lemma's preconditions this loop runs at most m times.
+	for {
+		t, ok := c.inner.Next()
+		if !ok {
+			return nil, false
+		}
+		c.pulled++
+		k := t.Key()
+		if c.seen[k] {
+			c.duplicates++
+			continue
+		}
+		c.seen[k] = true
+		return t.Clone(), true
+	}
+}
+
+// Duplicates returns the number of inner results suppressed so far.
+func (c *Cheater) Duplicates() int { return c.duplicates }
+
+// Pulled returns the number of inner results consumed so far.
+func (c *Cheater) Pulled() int { return c.pulled }
+
+// AlgorithmOne is the paper's Algorithm 1: enumerate Q1 ∪ Q2 for two
+// tractable CQs using only constant working memory. While Q1 produces
+// answers, an answer outside Q2(I) is printed directly; an answer inside
+// Q2(I) is "paid for" by printing the next Q2 answer instead (which always
+// exists: the branch is taken exactly |Q1(I) ∩ Q2(I)| times). When Q1 is
+// done, the remaining Q2 answers are drained. Every answer is printed
+// exactly once.
+type AlgorithmOne struct {
+	q1      Iterator
+	q2      Testable
+	q1Done  bool
+	skipped int
+}
+
+// NewAlgorithmOne builds the union iterator. q2 must support the
+// constant-time membership test over the same positional answer tuples q1
+// produces.
+func NewAlgorithmOne(q1 Iterator, q2 Testable) *AlgorithmOne {
+	return &AlgorithmOne{q1: q1, q2: q2}
+}
+
+// Next implements Iterator.
+func (a *AlgorithmOne) Next() (database.Tuple, bool) {
+	for !a.q1Done {
+		t, ok := a.q1.Next()
+		if !ok {
+			a.q1Done = true
+			break
+		}
+		if !a.q2.Contains(t) {
+			return t, true
+		}
+		// t will be produced by q2 eventually; print q2's next answer now.
+		if u, ok2 := a.q2.Next(); ok2 {
+			return u, true
+		}
+		// Defensive: by the Theorem 4 argument q2 cannot be exhausted here;
+		// if it is (mismatched Contains), just skip t — it was already
+		// printed as part of q2's stream.
+		a.skipped++
+	}
+	return a.q2.Next()
+}
+
+// UnionAll enumerates the union of several iterators with global
+// deduplication via the Cheater's Lemma combinator. The duplication bound
+// is the number of branches: each answer appears at most once per branch.
+func UnionAll(its ...Iterator) Iterator {
+	if len(its) == 1 {
+		return NewCheater(its[0], 1)
+	}
+	return NewCheater(NewChain(its...), len(its))
+}
+
+// Collect drains an iterator into a slice (cloning is the iterator's
+// responsibility; Cheater clones, plan adapters produce fresh tuples).
+func Collect(it Iterator) []database.Tuple {
+	var out []database.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// DelayStats summarises the wall-clock timing of one enumeration run.
+type DelayStats struct {
+	// Preprocessing is the time from Start to the first answer (or to
+	// exhaustion for empty results).
+	Preprocessing time.Duration
+	// Count is the number of answers.
+	Count int
+	// MaxDelay and MeanDelay describe inter-answer gaps (excluding
+	// preprocessing); P50, P95 and P99 are delay percentiles.
+	MaxDelay  time.Duration
+	MeanDelay time.Duration
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	// Total is the full wall-clock time of the run.
+	Total time.Duration
+}
+
+// MeasureDelays drains the iterator produced by build, timing the
+// preprocessing (construction + first answer) and each inter-answer delay.
+func MeasureDelays(build func() Iterator) DelayStats {
+	var st DelayStats
+	start := time.Now()
+	it := build()
+	prev := time.Now()
+	first := true
+	var sum time.Duration
+	var delays []time.Duration
+	for {
+		_, ok := it.Next()
+		now := time.Now()
+		if !ok {
+			if first {
+				st.Preprocessing = now.Sub(start)
+			}
+			st.Total = now.Sub(start)
+			break
+		}
+		if first {
+			st.Preprocessing = now.Sub(start)
+			first = false
+		} else {
+			d := now.Sub(prev)
+			sum += d
+			delays = append(delays, d)
+			if d > st.MaxDelay {
+				st.MaxDelay = d
+			}
+		}
+		st.Count++
+		prev = now
+	}
+	if len(delays) > 0 {
+		st.MeanDelay = sum / time.Duration(len(delays))
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		st.P50 = delays[len(delays)*50/100]
+		st.P95 = delays[len(delays)*95/100]
+		st.P99 = delays[len(delays)*99/100]
+	}
+	return st
+}

@@ -1,0 +1,276 @@
+package enumeration
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/database"
+)
+
+func tup(vals ...int64) database.Tuple {
+	t := make(database.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = database.V(v)
+	}
+	return t
+}
+
+func keys(ts []database.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSliceIterator(t *testing.T) {
+	it := NewSliceIterator([]database.Tuple{tup(1), tup(2)})
+	a, ok := it.Next()
+	if !ok || !a.Equal(tup(1)) {
+		t.Fatalf("first = %v, %v", a, ok)
+	}
+	b, _ := it.Next()
+	if !b.Equal(tup(2)) {
+		t.Fatalf("second = %v", b)
+	}
+	if _, ok := it.Next(); ok {
+		t.Errorf("not exhausted")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	n := 0
+	it := Func(func() (database.Tuple, bool) {
+		if n >= 2 {
+			return nil, false
+		}
+		n++
+		return tup(int64(n)), true
+	})
+	if got := Collect(it); len(got) != 2 {
+		t.Errorf("collect = %v", got)
+	}
+}
+
+func TestChain(t *testing.T) {
+	c := NewChain(
+		NewSliceIterator([]database.Tuple{tup(1)}),
+		NewSliceIterator(nil),
+		NewSliceIterator([]database.Tuple{tup(2), tup(3)}),
+	)
+	got := Collect(c)
+	if len(got) != 3 || !got[2].Equal(tup(3)) {
+		t.Errorf("chain = %v", got)
+	}
+}
+
+func TestCheaterDeduplicates(t *testing.T) {
+	inner := NewSliceIterator([]database.Tuple{tup(1), tup(2), tup(1), tup(3), tup(2), tup(1)})
+	c := NewCheater(inner, 2)
+	got := Collect(c)
+	if len(got) != 3 {
+		t.Fatalf("deduped = %v", got)
+	}
+	want := keys([]database.Tuple{tup(1), tup(2), tup(3)})
+	if g := keys(got); g[0] != want[0] || g[1] != want[1] || g[2] != want[2] {
+		t.Errorf("got %v", got)
+	}
+	if c.Duplicates() != 3 {
+		t.Errorf("duplicates = %d", c.Duplicates())
+	}
+	if c.Pulled() != 6 {
+		t.Errorf("pulled = %d", c.Pulled())
+	}
+}
+
+func TestCheaterPreservesFirstOccurrenceOrder(t *testing.T) {
+	inner := NewSliceIterator([]database.Tuple{tup(5), tup(5), tup(4), tup(3)})
+	got := Collect(NewCheater(inner, 1))
+	if !got[0].Equal(tup(5)) || !got[1].Equal(tup(4)) || !got[2].Equal(tup(3)) {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestCheaterClonesTuples(t *testing.T) {
+	// The inner iterator reuses a buffer; Cheater must clone.
+	buf := tup(0)
+	n := int64(0)
+	inner := Func(func() (database.Tuple, bool) {
+		if n >= 3 {
+			return nil, false
+		}
+		n++
+		buf[0] = database.V(n)
+		return buf, true
+	})
+	got := Collect(NewCheater(inner, 1))
+	if got[0][0] != database.V(1) || got[2][0] != database.V(3) {
+		t.Errorf("aliasing bug: %v", got)
+	}
+}
+
+func TestCheaterQuickNoDupsNoLoss(t *testing.T) {
+	f := func(vals []uint8, m uint8) bool {
+		tuples := make([]database.Tuple, len(vals))
+		want := make(map[string]bool)
+		for i, v := range vals {
+			tuples[i] = tup(int64(v % 16))
+			want[tuples[i].Key()] = true
+		}
+		got := Collect(NewCheater(NewSliceIterator(tuples), int(m%5)))
+		if len(got) != len(want) {
+			return false
+		}
+		for _, g := range got {
+			if !want[g.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakeTestable wraps a slice iterator with a set-based membership test.
+type fakeTestable struct {
+	*SliceIterator
+	set map[string]bool
+}
+
+func newFakeTestable(ts []database.Tuple) *fakeTestable {
+	set := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		set[t.Key()] = true
+	}
+	return &fakeTestable{SliceIterator: NewSliceIterator(ts), set: set}
+}
+
+func (f *fakeTestable) Contains(t database.Tuple) bool { return f.set[t.Key()] }
+
+func TestAlgorithmOne(t *testing.T) {
+	// Q1 = {1,2,3}, Q2 = {2,3,4,5}: union {1..5}, each exactly once.
+	q1 := NewSliceIterator([]database.Tuple{tup(1), tup(2), tup(3)})
+	q2 := newFakeTestable([]database.Tuple{tup(2), tup(3), tup(4), tup(5)})
+	got := Collect(NewAlgorithmOne(q1, q2))
+	if len(got) != 5 {
+		t.Fatalf("union = %v", got)
+	}
+	seen := make(map[string]bool)
+	for _, g := range got {
+		if seen[g.Key()] {
+			t.Errorf("duplicate %v", g)
+		}
+		seen[g.Key()] = true
+	}
+}
+
+func TestAlgorithmOneDisjointAndContained(t *testing.T) {
+	// Disjoint.
+	got := Collect(NewAlgorithmOne(
+		NewSliceIterator([]database.Tuple{tup(1)}),
+		newFakeTestable([]database.Tuple{tup(2)}),
+	))
+	if len(got) != 2 {
+		t.Errorf("disjoint union = %v", got)
+	}
+	// Q1 ⊆ Q2.
+	got = Collect(NewAlgorithmOne(
+		NewSliceIterator([]database.Tuple{tup(1), tup(2)}),
+		newFakeTestable([]database.Tuple{tup(1), tup(2), tup(3)}),
+	))
+	if len(got) != 3 {
+		t.Errorf("contained union = %v", got)
+	}
+	// Q1 empty.
+	got = Collect(NewAlgorithmOne(
+		NewSliceIterator(nil),
+		newFakeTestable([]database.Tuple{tup(9)}),
+	))
+	if len(got) != 1 {
+		t.Errorf("empty-q1 union = %v", got)
+	}
+	// Q2 empty.
+	got = Collect(NewAlgorithmOne(
+		NewSliceIterator([]database.Tuple{tup(7)}),
+		newFakeTestable(nil),
+	))
+	if len(got) != 1 {
+		t.Errorf("empty-q2 union = %v", got)
+	}
+}
+
+func TestAlgorithmOneQuick(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		dedup := func(vals []uint8) []database.Tuple {
+			seen := make(map[uint8]bool)
+			var out []database.Tuple
+			for _, v := range vals {
+				v %= 16
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, tup(int64(v)))
+				}
+			}
+			return out
+		}
+		a := dedup(av)
+		b := dedup(bv)
+		want := make(map[string]bool)
+		for _, t := range a {
+			want[t.Key()] = true
+		}
+		for _, t := range b {
+			want[t.Key()] = true
+		}
+		got := Collect(NewAlgorithmOne(NewSliceIterator(a), newFakeTestable(b)))
+		if len(got) != len(want) {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, g := range got {
+			if seen[g.Key()] || !want[g.Key()] {
+				return false
+			}
+			seen[g.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	got := Collect(UnionAll(
+		NewSliceIterator([]database.Tuple{tup(1), tup(2)}),
+		NewSliceIterator([]database.Tuple{tup(2), tup(3)}),
+		NewSliceIterator([]database.Tuple{tup(3), tup(4)}),
+	))
+	if len(got) != 4 {
+		t.Errorf("union = %v", got)
+	}
+	single := Collect(UnionAll(NewSliceIterator([]database.Tuple{tup(1), tup(1)})))
+	if len(single) != 1 {
+		t.Errorf("single-branch union = %v", single)
+	}
+}
+
+func TestMeasureDelays(t *testing.T) {
+	st := MeasureDelays(func() Iterator {
+		return NewSliceIterator([]database.Tuple{tup(1), tup(2), tup(3)})
+	})
+	if st.Count != 3 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.Total <= 0 || st.Preprocessing < 0 {
+		t.Errorf("timings: %+v", st)
+	}
+	empty := MeasureDelays(func() Iterator { return NewSliceIterator(nil) })
+	if empty.Count != 0 || empty.Preprocessing <= 0 {
+		t.Errorf("empty run: %+v", empty)
+	}
+}

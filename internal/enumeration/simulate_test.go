@@ -1,0 +1,101 @@
+package enumeration
+
+import (
+	"testing"
+
+	"repro/internal/database"
+)
+
+func mkTuple(i int) database.Tuple {
+	return database.Tuple{database.V(int64(i))}
+}
+
+func TestSimulateRaw(t *testing.T) {
+	events := []Event{
+		{Steps: 1, Result: mkTuple(0)},
+		{Steps: 100}, // stall
+		{Steps: 1, Result: mkTuple(1)},
+	}
+	s := SimulateRaw(events)
+	if len(s) != 2 {
+		t.Fatalf("schedule = %v", s)
+	}
+	if s.MaxDelay() != 101 {
+		t.Errorf("max delay = %d, want 101", s.MaxDelay())
+	}
+}
+
+func TestSimulateCheaterSmoothsStalls(t *testing.T) {
+	// 60 distinct results, duplicated twice, 3 stalls of 40 steps.
+	events := BurstyEvents(60, 2, 3, 40, mkTuple)
+	raw := SimulateRaw(events)
+	if raw.MaxDelay() <= 40 {
+		t.Fatalf("raw schedule has no stall: max delay %d", raw.MaxDelay())
+	}
+	// Lemma 5 parameters: n=3 stalls of p=42 (a stall plus the surrounding
+	// unit steps), delay bound d=2·dup steps otherwise, duplication m=2.
+	wrapped := SimulateCheater(events, 3, 42, 4, 2)
+	if len(wrapped) != 60 {
+		t.Fatalf("wrapped schedule has %d emissions, want 60", len(wrapped))
+	}
+	// After the preprocessing prefix, gaps never exceed m·d.
+	interval := 2 * 4
+	for i := 1; i < len(wrapped); i++ {
+		if d := wrapped[i] - wrapped[i-1]; d > interval {
+			t.Errorf("gap %d at position %d exceeds m·d = %d", d, i, interval)
+		}
+	}
+	if wrapped.MaxDelay() > 3*42+interval {
+		t.Errorf("first emission later than n·p + m·d: %d", wrapped.MaxDelay())
+	}
+}
+
+func TestSimulateCheaterNoDuplicates(t *testing.T) {
+	events := []Event{
+		{Steps: 1, Result: mkTuple(1)},
+		{Steps: 1, Result: mkTuple(1)},
+		{Steps: 1, Result: mkTuple(2)},
+		{Steps: 1, Result: mkTuple(1)},
+	}
+	s := SimulateCheater(events, 0, 0, 1, 3)
+	if len(s) != 2 {
+		t.Errorf("emissions = %d, want 2 (deduplicated)", len(s))
+	}
+}
+
+func TestSimulateCheaterDrainsQueue(t *testing.T) {
+	// All results arrive instantly; the wrapper must still emit them all
+	// at its cadence.
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{Steps: 1, Result: mkTuple(i)})
+	}
+	s := SimulateCheater(events, 1, 5, 2, 1)
+	if len(s) != 10 {
+		t.Fatalf("emissions = %d, want 10", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Errorf("non-increasing schedule at %d: %v", i, s)
+		}
+	}
+}
+
+func TestBurstyEventsShape(t *testing.T) {
+	events := BurstyEvents(10, 3, 2, 50, mkTuple)
+	results := 0
+	stalls := 0
+	for _, e := range events {
+		if e.Result != nil {
+			results++
+		} else if e.Steps == 50 {
+			stalls++
+		}
+	}
+	if results != 30 {
+		t.Errorf("result events = %d, want 30", results)
+	}
+	if stalls != 2 {
+		t.Errorf("stalls = %d, want 2", stalls)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllQuick executes every experiment in quick mode and checks the
+// structural invariants: every table renders, every verification column
+// agrees, and the markdown document is complete.
+func TestRunAllQuick(t *testing.T) {
+	tables := RunAll(Config{Quick: true})
+	if len(tables) != 14 {
+		t.Fatalf("got %d tables, want 14", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Paper == "" || tb.Claim == "" {
+			t.Errorf("table %q missing metadata", tb.ID)
+		}
+		if ids[tb.ID] {
+			t.Errorf("duplicate table id %s", tb.ID)
+		}
+		ids[tb.ID] = true
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Errorf("%s: row width %d, columns %d", tb.ID, len(row), len(tb.Columns))
+			}
+			for _, cell := range row {
+				if strings.Contains(cell, "MISMATCH") {
+					t.Errorf("%s: verification failed in row %v", tb.ID, row)
+				}
+			}
+		}
+		for _, n := range tb.Notes {
+			if strings.Contains(n, "FAILED") {
+				t.Errorf("%s: %s", tb.ID, n)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := RenderMarkdown(&sb, tables, Config{Quick: true}); err != nil {
+		t.Fatalf("RenderMarkdown: %v", err)
+	}
+	doc := sb.String()
+	for id := range ids {
+		if !strings.Contains(doc, "## "+id+" ") {
+			t.Errorf("markdown missing section %s", id)
+		}
+	}
+	if !strings.Contains(doc, "paper vs. measured") {
+		t.Errorf("markdown missing preamble")
+	}
+}
+
+func TestGalleryTableAllAgree(t *testing.T) {
+	tb := E9ClassifyGallery(Config{Quick: true})
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "✓" {
+			t.Errorf("gallery row disagrees: %v", row)
+		}
+	}
+	if len(tb.Rows) < 12 {
+		t.Errorf("gallery has %d rows", len(tb.Rows))
+	}
+}
+
+func TestHelperFormatting(t *testing.T) {
+	if itoa(42) != "42" {
+		t.Errorf("itoa broken")
+	}
+	if check(true) != "✓" || check(false) == "✓" {
+		t.Errorf("check broken")
+	}
+	if nsPer(0, 0) != "-" {
+		t.Errorf("nsPer zero-division guard broken")
+	}
+	if shorten("abc", 2) == "abc" {
+		t.Errorf("shorten broken")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/fd"
+)
+
+// E11FunctionalDependencies demonstrates Remark 2: the matrix-multiplication
+// query becomes constant-delay enumerable under an FD that determines the
+// join variable, with answers matching the naive evaluator.
+func E11FunctionalDependencies(cfg Config) Table {
+	widths := []int{2000, 8000, 32000}
+	if cfg.Quick {
+		widths = []int{500, 2000}
+	}
+	q := cq.MustParseCQ("Q(x,y) <- R1(x,z), R2(z,y).")
+	fds := fd.MustSet(fd.FD{Rel: "R1", From: []int{0}, To: 1})
+	t := Table{
+		ID:    "E11",
+		Title: "functional dependencies flip the mat-mul query (Remark 2)",
+		Paper: "Remark 2 / Carmeli & Kröll ICDT'18: FD-extensions precede union extensions; with R1: x→z the FD-extension Q(x,y,z) is free-connex",
+		Claim: "under the FD, enumeration runs with flat per-answer cost and matches the naive evaluator; without it the CQ is the canonical mat-mul hard case",
+		Columns: []string{
+			"input values", "answers", "prep+enum (ms)", "ns/answer", "naive total (ms)", "answers agree",
+		},
+	}
+	for wi, width := range widths {
+		rng := rand.New(rand.NewSource(int64(wi + 1)))
+		inst := fdMatMulInstance(rng, width)
+
+		start := time.Now()
+		it, err := fds.EnumerateCQ(q, inst)
+		if err != nil {
+			t.Notes = append(t.Notes, "ENUMERATION FAILED: "+err.Error())
+			return t
+		}
+		count := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			count++
+		}
+		cd := time.Since(start)
+
+		start = time.Now()
+		want, err := baseline.EvalCQ(q, inst)
+		if err != nil {
+			panic(err)
+		}
+		naive := time.Since(start)
+
+		t.Rows = append(t.Rows, []string{
+			itoa(inst.Size()), itoa(count), ms(cd), nsPer(cd, count),
+			ms(naive), check(count == want.Len()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Without the FD, Theorem 3(2) makes this exact query the mat-mul lower-bound witness (see E5).")
+	return t
+}
+
+// fdMatMulInstance builds R1 satisfying x→z and an arbitrary R2, sized so
+// the output grows linearly with the input.
+func fdMatMulInstance(rng *rand.Rand, width int) *database.Instance {
+	inst := database.NewInstance()
+	r1 := database.NewRelation("R1", 2)
+	mid := int64(64)
+	for x := int64(0); x < int64(width); x++ {
+		r1.AppendInts(x, x%mid)
+	}
+	r2 := database.NewRelation("R2", 2)
+	for i := 0; i < width; i++ {
+		r2.AppendInts(rng.Int63n(mid), rng.Int63n(int64(width)))
+	}
+	r2.Dedup()
+	inst.AddRelation(r1)
+	inst.AddRelation(r2)
+	return inst
+}

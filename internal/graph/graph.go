@@ -1,0 +1,190 @@
+// Package graph provides the simple-graph substrate for the paper's
+// lower-bound reductions: triangle listing (the hyperclique hypothesis for
+// k=3), 4-clique detection (the 4-clique hypothesis) and deterministic
+// random-graph generators for the experiment harness.
+//
+// Graphs are undirected, on vertices 0..n-1, stored as adjacency bitsets:
+// edge tests are O(1) and neighbourhood intersections run 64 vertices at a
+// time, giving the direct baselines the reductions are compared against.
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Graph is an undirected graph on vertices 0..n-1.
+type Graph struct {
+	n    int
+	adj  [][]uint64
+	m    int
+	self bool // kept false; self-loops rejected
+}
+
+// New creates an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	words := (n + 63) / 64
+	adj := make([][]uint64, n)
+	for i := range adj {
+		adj[i] = make([]uint64, words)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and out-of-range
+// vertices are errors.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u][v/64] |= 1 << (v % 64)
+	g.adj[v][u/64] |= 1 << (u % 64)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge panicking on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	return g.adj[u][v/64]&(1<<(v%64)) != 0
+}
+
+// Edges returns all edges as ordered pairs u < v.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.HasEdge(u, v) {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int {
+	d := 0
+	for _, w := range g.adj[u] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// Triangles lists every triangle a < b < c. This is the O(n³)-style direct
+// computation that Example 22 and Example 39 start from.
+func (g *Graph) Triangles() [][3]int {
+	var out [][3]int
+	buf := make([]uint64, len(g.adj[0]))
+	for a := 0; a < g.n; a++ {
+		for b := a + 1; b < g.n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for w := range buf {
+				buf[w] = g.adj[a][w] & g.adj[b][w]
+			}
+			for w, word := range buf {
+				for word != 0 {
+					c := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if c > b {
+						out = append(out, [3]int{a, b, c})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasTriangle reports whether the graph contains a triangle.
+func (g *Graph) HasTriangle() bool {
+	buf := make([]uint64, len(g.adj[0]))
+	for a := 0; a < g.n; a++ {
+		for b := a + 1; b < g.n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for w := range buf {
+				buf[w] = g.adj[a][w] & g.adj[b][w]
+				if buf[w] != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasFourClique reports whether the graph contains a 4-clique, by checking
+// each triangle's common neighbourhood — the O(n³·n/64) direct baseline of
+// the 4-clique hypothesis experiments.
+func (g *Graph) HasFourClique() bool {
+	buf := make([]uint64, len(g.adj[0]))
+	for _, t := range g.Triangles() {
+		a, b, c := t[0], t[1], t[2]
+		for w := range buf {
+			buf[w] = g.adj[a][w] & g.adj[b][w] & g.adj[c][w]
+			if buf[w] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ErdosRenyi samples G(n, p) with a deterministic seed.
+func ErdosRenyi(n int, p float64, seed int64) *Graph {
+	g := New(n)
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PlantClique adds a clique on k distinct random vertices, returning the
+// chosen vertices. Used to build yes-instances for clique detection.
+func PlantClique(g *Graph, k int, seed int64) []int {
+	if k > g.n {
+		panic("graph: clique larger than graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.n)[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.MustAddEdge(perm[i], perm[j])
+		}
+	}
+	return perm
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestAddHasEdge(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 4)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(4, 1) {
+		t.Errorf("edges missing")
+	}
+	if g.HasEdge(0, 4) || g.HasEdge(0, 0) || g.HasEdge(-1, 2) || g.HasEdge(0, 9) {
+		t.Errorf("phantom edges")
+	}
+	if g.M() != 2 || g.N() != 5 {
+		t.Errorf("counts: n=%d m=%d", g.N(), g.M())
+	}
+	// Duplicate insert is a no-op.
+	g.MustAddEdge(1, 0)
+	if g.M() != 2 {
+		t.Errorf("duplicate edge counted")
+	}
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 9); err == nil {
+		t.Errorf("out-of-range edge accepted")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("degree = %d", g.Degree(1))
+	}
+	if len(g.Edges()) != 2 {
+		t.Errorf("edges = %v", g.Edges())
+	}
+}
+
+// bruteTriangles is an O(n³) reference.
+func bruteTriangles(g *Graph) [][3]int {
+	var out [][3]int
+	for a := 0; a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			for c := b + 1; c < g.N(); c++ {
+				if g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(a, c) {
+					out = append(out, [3]int{a, b, c})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestTrianglesAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := ErdosRenyi(40, 0.2, seed)
+		got := g.Triangles()
+		want := bruteTriangles(g)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d triangles, want %d", seed, len(got), len(want))
+		}
+		seen := make(map[[3]int]bool, len(want))
+		for _, tri := range want {
+			seen[tri] = true
+		}
+		for _, tri := range got {
+			if !seen[tri] {
+				t.Errorf("seed %d: spurious triangle %v", seed, tri)
+			}
+		}
+		if g.HasTriangle() != (len(want) > 0) {
+			t.Errorf("seed %d: HasTriangle = %v with %d triangles", seed, g.HasTriangle(), len(want))
+		}
+	}
+}
+
+// bruteFourClique is an O(n⁴) reference.
+func bruteFourClique(g *Graph) bool {
+	for a := 0; a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < g.N(); c++ {
+				if !g.HasEdge(a, c) || !g.HasEdge(b, c) {
+					continue
+				}
+				for d := c + 1; d < g.N(); d++ {
+					if g.HasEdge(a, d) && g.HasEdge(b, d) && g.HasEdge(c, d) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestFourCliqueAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := 0.1 + 0.05*float64(seed)
+		g := ErdosRenyi(30, p, seed)
+		if got, want := g.HasFourClique(), bruteFourClique(g); got != want {
+			t.Errorf("seed %d p=%.2f: HasFourClique = %v, want %v", seed, p, got, want)
+		}
+	}
+}
+
+func TestPlantClique(t *testing.T) {
+	g := ErdosRenyi(40, 0.02, 3)
+	verts := PlantClique(g, 4, 7)
+	if len(verts) != 4 {
+		t.Fatalf("planted %d vertices", len(verts))
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if !g.HasEdge(verts[i], verts[j]) {
+				t.Errorf("planted clique missing edge %d-%d", verts[i], verts[j])
+			}
+		}
+	}
+	if !g.HasFourClique() {
+		t.Errorf("planted 4-clique not found")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(25, 0.3, 42)
+	b := ErdosRenyi(25, 0.3, 42)
+	if a.M() != b.M() {
+		t.Errorf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e[0], e[1]) {
+			t.Errorf("same seed, different edges")
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package homomorphism implements homomorphism search between conjunctive
+// queries: body-homomorphisms and body-isomorphisms (Definition 6 of the
+// paper), full homomorphisms and containment (Chandra–Merlin), and the
+// maximal-CQ selection of Lemma 16.
+//
+// All searches operate on the original (non-virtual) atoms of the queries:
+// virtual atoms carry fresh relation symbols by construction, so they can
+// never be homomorphism targets of real atoms, and the paper's provided-set
+// machinery (Definition 7) maps original bodies only.
+package homomorphism
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// BodyHomomorphisms returns every body-homomorphism from `from` to `to`:
+// mappings h on var(from) such that for each original atom R(v⃗) of `from`,
+// R(h(v⃗)) is an original atom of `to` (heads unconstrained). The result is
+// deduplicated and deterministic.
+func BodyHomomorphisms(from, to *cq.CQ) []cq.Substitution {
+	return search(from, to, nil)
+}
+
+// ExistsBodyHomomorphism reports whether at least one body-homomorphism
+// exists from `from` to `to`.
+func ExistsBodyHomomorphism(from, to *cq.CQ) bool {
+	return len(search(from, to, stopAfterFirst())) > 0
+}
+
+// Homomorphisms returns every homomorphism from `from` to `to` in the
+// paper's sense restricted positionally: body-homomorphisms h with
+// h(head_from[i]) = head_to[i] for every head position. (The UCQs in this
+// repository use positional head semantics; see internal/cq.)
+func Homomorphisms(from, to *cq.CQ) []cq.Substitution {
+	if len(from.Head) != len(to.Head) {
+		return nil
+	}
+	seed := make(cq.Substitution, len(from.Head))
+	for i, v := range from.Head {
+		if u, ok := seed[v]; ok {
+			if u != to.Head[i] {
+				return nil
+			}
+			continue
+		}
+		seed[v] = to.Head[i]
+	}
+	return search(from, to, &searchOpts{seed: seed})
+}
+
+// Contains reports Q1 ⊆ Q2: by the Chandra–Merlin theorem, this holds iff
+// there is a homomorphism from Q2 to Q1 preserving the head positionally.
+func Contains(q1, q2 *cq.CQ) bool {
+	if len(q1.Head) != len(q2.Head) {
+		return false
+	}
+	seed := make(cq.Substitution, len(q2.Head))
+	for i, v := range q2.Head {
+		if u, ok := seed[v]; ok {
+			if u != q1.Head[i] {
+				return false
+			}
+			continue
+		}
+		seed[v] = q1.Head[i]
+	}
+	return len(search(q2, q1, &searchOpts{seed: seed, first: true})) > 0
+}
+
+// Equivalent reports Q1 ≡ Q2 (mutual containment).
+func Equivalent(q1, q2 *cq.CQ) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// IsRedundant reports whether the i-th CQ of the union is contained in
+// another CQ of the union (as in Example 1, where the contained CQ can be
+// dropped without changing the semantics — note the *containing* query is
+// the one kept).
+func IsRedundant(u *cq.UCQ, i int) bool {
+	for j, q := range u.CQs {
+		if j == i {
+			continue
+		}
+		if Contains(u.CQs[i], q) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRedundant returns a copy of the union with contained CQs removed
+// (keeping the first of any equivalent group).
+func RemoveRedundant(u *cq.UCQ) *cq.UCQ {
+	keep := make([]bool, len(u.CQs))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range u.CQs {
+		if !keep[i] {
+			continue
+		}
+		for j := range u.CQs {
+			if i == j || !keep[j] || !keep[i] {
+				continue
+			}
+			if Contains(u.CQs[j], u.CQs[i]) {
+				// Qj ⊆ Qi: drop Qj unless they are equivalent and j < i.
+				if Contains(u.CQs[i], u.CQs[j]) && j < i {
+					keep[i] = false
+				} else {
+					keep[j] = false
+				}
+			}
+		}
+	}
+	var cqs []*cq.CQ
+	for i, k := range keep {
+		if k {
+			cqs = append(cqs, u.CQs[i].Clone())
+		}
+	}
+	return &cq.UCQ{CQs: cqs}
+}
+
+// FindBodyIsomorphism returns a body-isomorphism from q2 to q1 when q1 and
+// q2 are body-isomorphic (Definition 6): body-homomorphisms exist in both
+// directions. For self-join-free queries the returned mapping is a variable
+// bijection.
+func FindBodyIsomorphism(q1, q2 *cq.CQ) (cq.Substitution, bool) {
+	homs := BodyHomomorphisms(q2, q1)
+	if len(homs) == 0 {
+		return nil, false
+	}
+	if !ExistsBodyHomomorphism(q1, q2) {
+		return nil, false
+	}
+	// Prefer a bijective mapping when one exists (always the case for
+	// self-join-free bodies).
+	for _, h := range homs {
+		if isInjectiveOn(h, q2.Vars()) {
+			return h, true
+		}
+	}
+	return homs[0], true
+}
+
+// BodyIsomorphic reports whether q1 and q2 have isomorphic bodies.
+func BodyIsomorphic(q1, q2 *cq.CQ) bool {
+	_, ok := FindBodyIsomorphism(q1, q2)
+	return ok
+}
+
+// SelectLemma16 returns the index of a CQ Q1 in the union such that for
+// every Qi, either there is no body-homomorphism from Qi to Q1, or Q1 and
+// Qi are body-isomorphic (Lemma 16). Such a query always exists: the strict
+// order "Qi maps into Qj but not conversely" is acyclic and any minimal
+// element qualifies.
+func SelectLemma16(u *cq.UCQ) int {
+	n := len(u.CQs)
+	hom := make([][]bool, n)
+	for i := range hom {
+		hom[i] = make([]bool, n)
+		for j := range hom[i] {
+			if i == j {
+				hom[i][j] = true
+				continue
+			}
+			hom[i][j] = ExistsBodyHomomorphism(u.CQs[i], u.CQs[j])
+		}
+	}
+	for cand := 0; cand < n; cand++ {
+		ok := true
+		for i := 0; i < n; i++ {
+			if i == cand {
+				continue
+			}
+			if hom[i][cand] && !hom[cand][i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	// Unreachable by Lemma 16; return 0 defensively.
+	return 0
+}
+
+// searchOpts controls the backtracking search.
+type searchOpts struct {
+	// seed is a partial substitution that the homomorphism must extend.
+	seed cq.Substitution
+	// first stops the search at the first homomorphism.
+	first bool
+}
+
+func stopAfterFirst() *searchOpts { return &searchOpts{first: true} }
+
+// search enumerates mappings h : var(from) → var(to) such that every
+// original atom of `from` maps to an original atom of `to` with the same
+// symbol, extending opts.seed if given.
+func search(from, to *cq.CQ, opts *searchOpts) []cq.Substitution {
+	if opts == nil {
+		opts = &searchOpts{}
+	}
+	srcAtoms := from.OriginalAtoms()
+	targets := make(map[string][]cq.Atom)
+	for _, a := range to.OriginalAtoms() {
+		targets[a.Rel] = append(targets[a.Rel], a)
+	}
+	// Fail fast when a source symbol is absent from the target (as in
+	// Example 9, where R4 blocks any body-homomorphism).
+	for _, a := range srcAtoms {
+		if len(targets[a.Rel]) == 0 {
+			return nil
+		}
+	}
+	// Order atoms to bind shared variables early: most-variables-first is a
+	// decent static heuristic at query scale.
+	order := make([]int, len(srcAtoms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(srcAtoms[order[i]].Vars) > len(srcAtoms[order[j]].Vars)
+	})
+
+	var out []cq.Substitution
+	seen := make(map[string]bool)
+	current := make(cq.Substitution)
+	for v, u := range opts.seed {
+		current[v] = u
+	}
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			// Record the restriction of current to var(from), deduped.
+			vars := from.Vars().Sorted()
+			h := make(cq.Substitution, len(vars))
+			sig := make([]byte, 0, len(vars)*8)
+			for _, v := range vars {
+				h[v] = current.Apply(v)
+				sig = append(sig, []byte(v)...)
+				sig = append(sig, 0)
+				sig = append(sig, []byte(h[v])...)
+				sig = append(sig, 1)
+			}
+			if !seen[string(sig)] {
+				seen[string(sig)] = true
+				out = append(out, h)
+			}
+			return opts.first
+		}
+		a := srcAtoms[order[k]]
+		for _, t := range targets[a.Rel] {
+			if len(t.Vars) != len(a.Vars) {
+				continue
+			}
+			var bound []cq.Variable
+			ok := true
+			for i, v := range a.Vars {
+				if u, exists := current[v]; exists {
+					if u != t.Vars[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				current[v] = t.Vars[i]
+				bound = append(bound, v)
+			}
+			if ok && rec(k+1) {
+				return true
+			}
+			for _, v := range bound {
+				delete(current, v)
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out
+}
+
+// isInjectiveOn reports whether h is injective on the given variables.
+func isInjectiveOn(h cq.Substitution, vars cq.VarSet) bool {
+	img := make(map[cq.Variable]bool, len(vars))
+	for v := range vars {
+		u := h.Apply(v)
+		if img[u] {
+			return false
+		}
+		img[u] = true
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package homomorphism
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestExample1Containment(t *testing.T) {
+	// Example 1: Q1 ⊆ Q2, making Q1 redundant.
+	q1 := cq.MustParseCQ("Q1(x,y) <- R1(x,y), R2(y,z), R3(z,x).")
+	q2 := cq.MustParseCQ("Q2(x,y) <- R1(x,y), R2(y,z).")
+	if !Contains(q1, q2) {
+		t.Errorf("Q1 ⊆ Q2 not detected")
+	}
+	if Contains(q2, q1) {
+		t.Errorf("Q2 ⊆ Q1 wrongly detected")
+	}
+	u := cq.MustUCQ(q1, q2)
+	if !IsRedundant(u, 0) {
+		t.Errorf("Q1 not reported redundant")
+	}
+	if IsRedundant(u, 1) {
+		t.Errorf("Q2 reported redundant")
+	}
+	r := RemoveRedundant(u)
+	if len(r.CQs) != 1 || r.CQs[0].Name != "Q2" {
+		t.Errorf("RemoveRedundant = %v", r)
+	}
+}
+
+func TestExample2BodyHomomorphism(t *testing.T) {
+	// Example 2: body-homomorphism from Q2 to Q1 with h(x,y,w) = (x,z,y),
+	// but no full homomorphism (Q1 is not redundant).
+	q1 := cq.MustParseCQ("Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).")
+	q2 := cq.MustParseCQ("Q2(x,y,w) <- R1(x,y), R2(y,w).")
+	homs := BodyHomomorphisms(q2, q1)
+	if len(homs) != 1 {
+		t.Fatalf("homs = %v", homs)
+	}
+	h := homs[0]
+	if h.Apply("x") != "x" || h.Apply("y") != "z" || h.Apply("w") != "y" {
+		t.Errorf("h = %v", h)
+	}
+	if Contains(q1, q2) || Contains(q2, q1) {
+		t.Errorf("containment wrongly detected")
+	}
+	if ExistsBodyHomomorphism(q1, q2) {
+		t.Errorf("reverse body-homomorphism wrongly detected")
+	}
+}
+
+func TestExample9NoBodyHomomorphism(t *testing.T) {
+	// Example 9: R4 only occurs in Q2, so there is no body-homomorphism
+	// from Q2 to Q1.
+	q1 := cq.MustParseCQ("Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).")
+	q2 := cq.MustParseCQ("Q2(x,y,w) <- R1(x,y), R2(y,w), R4(y).")
+	if ExistsBodyHomomorphism(q2, q1) {
+		t.Errorf("body-homomorphism found despite missing symbol")
+	}
+}
+
+func TestExample18BodyIsomorphism(t *testing.T) {
+	// Example 18: Q1 and Q2 are body-isomorphic; Q3 has no body-hom to Q1.
+	q1 := cq.MustParseCQ("Q1(x,y) <- R1(x,y), R2(y,u), R3(x,u).")
+	q2 := cq.MustParseCQ("Q2(x,y) <- R1(y,v), R2(v,x), R3(y,x).")
+	q3 := cq.MustParseCQ("Q3(x,y) <- R1(x,z), R2(y,z).")
+	if !BodyIsomorphic(q1, q2) {
+		t.Errorf("Q1, Q2 not body-isomorphic")
+	}
+	h, ok := FindBodyIsomorphism(q1, q2)
+	if !ok {
+		t.Fatalf("no isomorphism returned")
+	}
+	// h maps var(Q2) to var(Q1): R1(y,v) -> R1(x,y) forces y->x, v->y.
+	if h.Apply("y") != "x" || h.Apply("v") != "y" || h.Apply("x") != "u" {
+		t.Errorf("h = %v", h)
+	}
+	if ExistsBodyHomomorphism(q3, q1) {
+		t.Errorf("body-hom Q3 -> Q1 wrongly found")
+	}
+	if BodyIsomorphic(q1, q3) {
+		t.Errorf("Q1, Q3 wrongly body-isomorphic")
+	}
+}
+
+func TestExample20BodyIsomorphismRewrite(t *testing.T) {
+	// Example 20: Q1 and Q2 are body-isomorphic.
+	q1 := cq.MustParseCQ("Q1(x,y,v) <- R1(x,z), R2(z,y), R3(y,v), R4(v,w).")
+	q2 := cq.MustParseCQ("Q2(x,y,v) <- R1(w,v), R2(v,y), R3(y,z), R4(z,x).")
+	h, ok := FindBodyIsomorphism(q1, q2)
+	if !ok {
+		t.Fatalf("Q1, Q2 not body-isomorphic")
+	}
+	// Rewriting Q1 via h⁻¹... here: h maps var(Q2)→var(Q1); applying h to
+	// Q2's head (x,y,v) should give the paper's rewritten head (w? ...).
+	// R1(w,v)->R1(x,z): w->x, v->z; R2(v,y)->R2(z,y): y->y; R3(y,z)->R3(y,v):
+	// z->v; R4(z,x)->R4(v,w): x->w.
+	if h.Apply("x") != "w" || h.Apply("y") != "y" || h.Apply("v") != "z" {
+		t.Errorf("h = %v", h)
+	}
+}
+
+func TestHomomorphismsPositionalHeads(t *testing.T) {
+	q1 := cq.MustParseCQ("Q1(x) <- R(x,y).")
+	q2 := cq.MustParseCQ("Q2(a) <- R(a,b).")
+	homs := Homomorphisms(q1, q2)
+	if len(homs) != 1 || homs[0].Apply("x") != "a" || homs[0].Apply("y") != "b" {
+		t.Errorf("homs = %v", homs)
+	}
+	// Head arity mismatch yields none.
+	q3 := cq.MustParseCQ("Q3(a,b) <- R(a,b).")
+	if len(Homomorphisms(q1, q3)) != 0 {
+		t.Errorf("arity mismatch produced homomorphisms")
+	}
+}
+
+func TestHomomorphismRepeatedHeadVariable(t *testing.T) {
+	// Q(x,x) requires both head positions to map consistently: x would need
+	// images a and b simultaneously, so no homomorphism exists.
+	q1 := cq.MustParseCQ("Q1(x,x) <- R(x).")
+	q2 := cq.MustParseCQ("Q2(a,b) <- R(a), R(b).")
+	if got := Homomorphisms(q1, q2); len(got) != 0 {
+		t.Errorf("homs = %v, want none (conflicting head images)", got)
+	}
+	if Contains(q2, q1) {
+		// Q2(a,b) has answers (a,b) with a≠b; Q1 cannot cover them.
+		t.Errorf("Q2 ⊆ Q1 wrongly detected")
+	}
+	if !Contains(q1, q2) {
+		t.Errorf("Q1 ⊆ Q2 not detected")
+	}
+}
+
+func TestSelfJoinTargets(t *testing.T) {
+	// Self-joins in the target give multiple homomorphisms.
+	from := cq.MustParseCQ("A(x) <- R(x,y).")
+	to := cq.MustParseCQ("B(u) <- R(u,v), R(v,w).")
+	homs := BodyHomomorphisms(from, to)
+	if len(homs) != 2 {
+		t.Errorf("homs = %v", homs)
+	}
+}
+
+func TestArityMismatchAtoms(t *testing.T) {
+	from := cq.MustParseCQ("A(x) <- R(x,x).")
+	to := cq.MustParseCQ("B(u) <- R(u,v,w).")
+	if ExistsBodyHomomorphism(from, to) {
+		t.Errorf("hom found across arity mismatch")
+	}
+}
+
+func TestVirtualAtomsIgnored(t *testing.T) {
+	from := cq.MustParseCQ("A(x) <- R(x,y).")
+	to := cq.MustParseCQ("B(u) <- R(u,v).")
+	// Add a virtual atom to `from`; it must not block the homomorphism.
+	from.Atoms = append(from.Atoms, cq.Atom{Rel: "P0", Vars: []cq.Variable{"x", "y"}, Virtual: true})
+	if !ExistsBodyHomomorphism(from, to) {
+		t.Errorf("virtual atom blocked body-homomorphism")
+	}
+	// Virtual atoms in `to` are not valid targets.
+	to2 := cq.MustParseCQ("B(u) <- S(u).")
+	to2.Atoms = append(to2.Atoms, cq.Atom{Rel: "R", Vars: []cq.Variable{"u", "u"}, Virtual: true})
+	if ExistsBodyHomomorphism(from, to2) {
+		t.Errorf("virtual atom used as homomorphism target")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	q1 := cq.MustParseCQ("Q1(x) <- R(x,y).")
+	q2 := cq.MustParseCQ("Q2(a) <- R(a,b), R(a,c).")
+	if !Equivalent(q1, q2) {
+		t.Errorf("equivalent queries not detected")
+	}
+}
+
+func TestSelectLemma16(t *testing.T) {
+	// Example 18: Q1 and Q2 body-isomorphic, Q3 unrelated. Any of the three
+	// satisfies the conditions vacuously or via isomorphism; verify the
+	// returned query satisfies Lemma 16's property.
+	u := cq.MustParse(`
+		Q1(x,y) <- R1(x,y), R2(y,u), R3(x,u).
+		Q2(x,y) <- R1(y,v), R2(v,x), R3(y,x).
+		Q3(x,y) <- R1(x,z), R2(y,z).
+	`)
+	idx := SelectLemma16(u)
+	q1 := u.CQs[idx]
+	for i, qi := range u.CQs {
+		if i == idx {
+			continue
+		}
+		if ExistsBodyHomomorphism(qi, q1) && !BodyIsomorphic(q1, qi) {
+			t.Errorf("selected CQ %d violates Lemma 16 against %d", idx, i)
+		}
+	}
+}
+
+func TestSelectLemma16Chain(t *testing.T) {
+	// Q2 maps into Q1 (Example 2) but not conversely, so the selection must
+	// be Q1... wait: Lemma 16 wants a query such that anything mapping INTO
+	// it is isomorphic; Q1 receives Q2's body-hom, so the valid choice is
+	// the sink of the chain, Q2.
+	u := cq.MustParse(`
+		Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).
+		Q2(x,y,w) <- R1(x,y), R2(y,w).
+	`)
+	idx := SelectLemma16(u)
+	if idx != 1 {
+		t.Errorf("SelectLemma16 = %d, want 1 (Q2)", idx)
+	}
+}
+
+func TestBodyHomomorphismDeterminism(t *testing.T) {
+	from := cq.MustParseCQ("A(x) <- R(x,y).")
+	to := cq.MustParseCQ("B(u) <- R(u,v), R(v,w).")
+	a := BodyHomomorphisms(from, to)
+	b := BodyHomomorphisms(from, to)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count")
+	}
+	for i := range a {
+		for v, u := range a[i] {
+			if b[i][v] != u {
+				t.Errorf("non-deterministic order")
+			}
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// ConnexNode is a node of an ext-S-connex tree. Nodes are either original
+// atoms (AtomEdge ≥ 0, Vars = the atom's variables) or top nodes: members of
+// the inclusive extension that together span exactly S (IsTop true, Vars ⊆ S,
+// Vars a subset of the source atom's variables).
+type ConnexNode struct {
+	Vars cq.VarSet
+	// AtomEdge is the hypergraph edge index the node stems from, or -1 for
+	// deduplicated top nodes that merge several atoms' projections.
+	AtomEdge int
+	IsTop    bool
+}
+
+// ConnexTree is an ext-S-connex tree for a hypergraph H and a variable set
+// S (Section 2, Figure 1 of the paper): a join tree of an inclusive
+// extension of H whose top nodes form a connected subtree containing exactly
+// the variables S.
+type ConnexTree struct {
+	S      cq.VarSet
+	Nodes  []ConnexNode
+	Root   int
+	Parent []int
+}
+
+// elimState mirrors the GYO reduction but freezes the S edge: atoms are
+// projected (solo existential vertices removed), absorbed into other atoms,
+// or absorbed "into S" becoming top nodes. This is the schema-level twin of
+// the data-level elimination engine in internal/yannakakis.
+type elimState struct {
+	cur   []cq.VarSet
+	alive []bool
+	n     int
+}
+
+// BuildConnexTree constructs an ext-S-connex tree, or returns an error when
+// H is not S-connex. The construction runs the GYO reduction of H ∪ {S} with
+// the S edge frozen:
+//
+//   - a vertex outside S occurring in a single alive atom is projected away;
+//   - an atom whose current set is contained in another alive atom's current
+//     set is absorbed into it (it hangs below the absorber in the tree);
+//   - an atom whose current set is contained in S becomes a top node.
+//
+// If H ∪ {S} is acyclic this terminates with every atom absorbed (if the
+// only available GYO move touched the frozen S edge, the join tree of the
+// residual graph would need a second leaf besides S, and any non-S leaf
+// admits one of the three moves). The distinct top sets form an acyclic
+// hypergraph whose join tree becomes the connected S-part; each atom hangs
+// below its absorber or its top node. The result is verified before being
+// returned.
+func BuildConnexTree(h *Hypergraph, s cq.VarSet) (*ConnexTree, error) {
+	if !h.Vertices().ContainsAll(s) {
+		return nil, fmt.Errorf("hypergraph: S %v contains variables outside the hypergraph", s)
+	}
+	if !h.IsAcyclic() {
+		return nil, fmt.Errorf("hypergraph: not S-connex: hypergraph is cyclic")
+	}
+	if !h.WithEdge(s).IsAcyclic() {
+		return nil, fmt.Errorf("hypergraph: not S-connex: H ∪ {S} is cyclic")
+	}
+
+	st := &elimState{
+		cur:   make([]cq.VarSet, len(h.Edges)),
+		alive: make([]bool, len(h.Edges)),
+		n:     len(h.Edges),
+	}
+	for i, e := range h.Edges {
+		st.cur[i] = e.Vars.Clone()
+		st.alive[i] = true
+	}
+
+	// absorbedInto[i] = j when atom i was absorbed into atom j; topOf[i] is
+	// the projected set when atom i became a top node.
+	absorbedInto := make([]int, len(h.Edges))
+	topOf := make([]cq.VarSet, len(h.Edges))
+	for i := range absorbedInto {
+		absorbedInto[i] = -1
+	}
+
+	occurrences := func(v cq.Variable) int {
+		n := 0
+		for i, cs := range st.cur {
+			if st.alive[i] && cs[v] {
+				n++
+			}
+		}
+		return n
+	}
+
+	for st.n > 0 {
+		progressed := false
+		// Rule 1: project solo existential vertices.
+		for i, cs := range st.cur {
+			if !st.alive[i] {
+				continue
+			}
+			for v := range cs {
+				if !s[v] && occurrences(v) <= 1 {
+					delete(cs, v)
+					progressed = true
+				}
+			}
+		}
+		// Rule 2: absorb an atom into another atom.
+		for i := range st.cur {
+			if !st.alive[i] {
+				continue
+			}
+			for j := range st.cur {
+				if i == j || !st.alive[j] {
+					continue
+				}
+				if st.cur[j].ContainsAll(st.cur[i]) {
+					absorbedInto[i] = j
+					st.alive[i] = false
+					st.n--
+					progressed = true
+					break
+				}
+			}
+		}
+		// Rule 3: absorb an atom into S (it becomes a top node).
+		for i := range st.cur {
+			if !st.alive[i] {
+				continue
+			}
+			if s.ContainsAll(st.cur[i]) {
+				topOf[i] = st.cur[i].Clone()
+				st.alive[i] = false
+				st.n--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("hypergraph: internal error: S-connex elimination stalled on %v with S=%v", h, s)
+		}
+	}
+
+	// Deduplicate top sets and build their join tree.
+	type topInfo struct {
+		vars  cq.VarSet
+		atoms []int
+	}
+	var tops []topInfo
+	topIndex := make(map[string]int)
+	for i, tv := range topOf {
+		if tv == nil {
+			continue
+		}
+		key := tv.String()
+		ti, ok := topIndex[key]
+		if !ok {
+			ti = len(tops)
+			topIndex[key] = ti
+			tops = append(tops, topInfo{vars: tv})
+		}
+		tops[ti].atoms = append(tops[ti].atoms, i)
+	}
+	if len(tops) == 0 {
+		return nil, fmt.Errorf("hypergraph: internal error: no top nodes produced")
+	}
+	topSets := make([]cq.VarSet, len(tops))
+	for i, t := range tops {
+		topSets[i] = t.vars
+	}
+	topTree, err := BuildJoinTree(FromVarSets(topSets...))
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: internal error: top hypergraph is cyclic: %w", err)
+	}
+
+	// Assemble the full tree: top nodes first, then atom nodes.
+	t := &ConnexTree{S: s.Clone()}
+	atomNode := make([]int, len(h.Edges))
+	topNode := make([]int, len(tops))
+	for i, ti := range tops {
+		topNode[i] = len(t.Nodes)
+		atomEdge := -1
+		if len(ti.atoms) == 1 {
+			atomEdge = ti.atoms[0]
+		}
+		t.Nodes = append(t.Nodes, ConnexNode{Vars: ti.vars, AtomEdge: atomEdge, IsTop: true})
+	}
+	for i, e := range h.Edges {
+		atomNode[i] = len(t.Nodes)
+		t.Nodes = append(t.Nodes, ConnexNode{Vars: e.Vars.Clone(), AtomEdge: i})
+	}
+	t.Parent = make([]int, len(t.Nodes))
+	for i := range tops {
+		if p := topTree.Parent[i]; p >= 0 {
+			t.Parent[topNode[i]] = topNode[p]
+		} else {
+			t.Parent[topNode[i]] = -1
+			t.Root = topNode[i]
+		}
+	}
+	for i := range h.Edges {
+		switch {
+		case topOf[i] != nil:
+			t.Parent[atomNode[i]] = topNode[topIndex[topOf[i].String()]]
+		case absorbedInto[i] >= 0:
+			t.Parent[atomNode[i]] = atomNode[absorbedInto[i]]
+		default:
+			return nil, fmt.Errorf("hypergraph: internal error: atom edge %d neither absorbed nor top", i)
+		}
+	}
+	if err := t.Verify(h); err != nil {
+		return nil, fmt.Errorf("hypergraph: internal error: connex tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// Verify checks that the tree is a join tree of an inclusive extension of h
+// (every node a subset of some edge, every edge present as a node), that
+// the running intersection property holds, and that the top nodes form a
+// connected subtree covering exactly S.
+func (t *ConnexTree) Verify(h *Hypergraph) error {
+	n := len(t.Nodes)
+	if len(t.Parent) != n {
+		return fmt.Errorf("parent array size mismatch")
+	}
+	roots := 0
+	for _, p := range t.Parent {
+		if p == -1 {
+			roots++
+		} else if p < 0 || p >= n {
+			return fmt.Errorf("invalid parent %d", p)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("tree has %d roots", roots)
+	}
+	// Inclusive extension: every node ⊆ some edge of h; every edge of h
+	// appears as a node.
+	for i, nd := range t.Nodes {
+		covered := false
+		for _, e := range h.Edges {
+			if e.Vars.ContainsAll(nd.Vars) {
+				covered = true
+				break
+			}
+		}
+		if !covered && len(nd.Vars) > 0 {
+			return fmt.Errorf("node %d (%v) is not a subset of any edge", i, nd.Vars)
+		}
+	}
+	for _, e := range h.Edges {
+		found := false
+		for _, nd := range t.Nodes {
+			if !nd.IsTop && nd.Vars.Equal(e.Vars) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("edge %v of the hypergraph is missing from the tree", e.Vars)
+		}
+	}
+	// Tree reachability.
+	children := make([][]int, n)
+	root := -1
+	for i, p := range t.Parent {
+		if p == -1 {
+			root = i
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	seen := 0
+	stack := []int{root}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen++
+		stack = append(stack, children[i]...)
+	}
+	if seen != n {
+		return fmt.Errorf("tree reaches %d of %d nodes", seen, n)
+	}
+	// Running intersection over all nodes.
+	vertices := make(cq.VarSet)
+	for _, nd := range t.Nodes {
+		vertices.AddAll(nd.Vars)
+	}
+	for v := range vertices {
+		var holders []int
+		for i, nd := range t.Nodes {
+			if nd.Vars[v] {
+				holders = append(holders, i)
+			}
+		}
+		if !connectedInTree(t.Parent, holders) {
+			return fmt.Errorf("vertex %s violates running intersection", v)
+		}
+	}
+	// Top part: connected, covers exactly S.
+	var topIdx []int
+	topVars := make(cq.VarSet)
+	for i, nd := range t.Nodes {
+		if nd.IsTop {
+			topIdx = append(topIdx, i)
+			topVars.AddAll(nd.Vars)
+			if !t.S.ContainsAll(nd.Vars) {
+				return fmt.Errorf("top node %d (%v) exceeds S %v", i, nd.Vars, t.S)
+			}
+		}
+	}
+	if !topVars.Equal(t.S) {
+		return fmt.Errorf("top nodes cover %v, want exactly %v", topVars, t.S)
+	}
+	if !connectedInTree(t.Parent, topIdx) {
+		return fmt.Errorf("top nodes are not connected")
+	}
+	return nil
+}
+
+// connectedInTree reports whether the given node indices form a connected
+// subtree of the tree described by the parent array.
+func connectedInTree(parent []int, nodes []int) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(nodes))
+	for _, i := range nodes {
+		in[i] = true
+	}
+	top := -2
+	for _, i := range nodes {
+		j := i
+		for parent[j] >= 0 && in[parent[j]] {
+			j = parent[j]
+		}
+		if top == -2 {
+			top = j
+		} else if top != j {
+			return false
+		}
+	}
+	return true
+}
+
+// TopNodes returns the indices of the top (S-part) nodes.
+func (t *ConnexTree) TopNodes() []int {
+	var out []int
+	for i, nd := range t.Nodes {
+		if nd.IsTop {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the tree with top nodes marked by '*'.
+func (t *ConnexTree) String() string {
+	children := make([][]int, len(t.Nodes))
+	for i, p := range t.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	var b strings.Builder
+	var rec func(i, depth int)
+	rec = func(i, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if t.Nodes[i].IsTop {
+			b.WriteByte('*')
+		}
+		b.WriteString(t.Nodes[i].Vars.String())
+		b.WriteByte('\n')
+		order := append([]int(nil), children[i]...)
+		sort.Ints(order)
+		for _, c := range order {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}

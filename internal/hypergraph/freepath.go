@@ -1,0 +1,125 @@
+package hypergraph
+
+import (
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// FreePath is a free-path (x, z1, ..., zk, y) of a CQ (Section 2 of the
+// paper): a chordless path in H(Q) whose endpoints are free and whose
+// interior variables are existential, with k ≥ 1.
+type FreePath []cq.Variable
+
+// Endpoints returns the first and last variables of the path.
+func (p FreePath) Endpoints() (cq.Variable, cq.Variable) {
+	return p[0], p[len(p)-1]
+}
+
+// Interior returns z1..zk.
+func (p FreePath) Interior() []cq.Variable {
+	return p[1 : len(p)-1]
+}
+
+// VarSet returns the variables of the path.
+func (p FreePath) VarSet() cq.VarSet {
+	s := make(cq.VarSet, len(p))
+	for _, v := range p {
+		s[v] = true
+	}
+	return s
+}
+
+// String renders the path as (x,z,y).
+func (p FreePath) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// FreePaths enumerates every free-path of the hypergraph with respect to the
+// set of free variables. Paths are reported once (not once per direction):
+// the lexicographically smaller endpoint comes first. The search is a DFS
+// over chordless extensions; query hypergraphs are constant-size so the
+// worst-case exponential cost is irrelevant in data complexity.
+func FreePaths(h *Hypergraph, free cq.VarSet) []FreePath {
+	var out []FreePath
+	vertices := h.Vertices().Sorted()
+	var path []cq.Variable
+
+	var extend func()
+	extend = func() {
+		last := path[len(path)-1]
+		for _, w := range vertices {
+			if !h.Neighbors(last, w) || w == last {
+				continue
+			}
+			// Chordless: w must not neighbor any path vertex except last.
+			chord := false
+			for _, u := range path[:len(path)-1] {
+				if u == w || h.Neighbors(u, w) {
+					chord = true
+					break
+				}
+			}
+			if chord {
+				continue
+			}
+			if free[w] {
+				// Endpoint found; interior is non-empty and existential by
+				// construction. Report each undirected path once.
+				if len(path) >= 2 && path[0] < w {
+					p := make(FreePath, len(path)+1)
+					copy(p, path)
+					p[len(path)] = w
+					out = append(out, p)
+				}
+				continue
+			}
+			path = append(path, w)
+			extend()
+			path = path[:len(path)-1]
+		}
+	}
+
+	for _, x := range vertices {
+		if !free[x] {
+			continue
+		}
+		path = append(path[:0], x)
+		extend()
+	}
+	return out
+}
+
+// HasFreePath reports whether at least one free-path exists. For an acyclic
+// CQ this is equivalent to not being free-connex (Bagan et al., cited as
+// part of Section 2).
+func HasFreePath(h *Hypergraph, free cq.VarSet) bool {
+	return len(FreePaths(h, free)) > 0
+}
+
+// SubsequentPAtoms returns the pairs of edge indices (e1, e2) that are
+// subsequent P-atoms for the path P (Definition 23): e1 contains
+// {P[i-1], P[i]} and e2 contains {P[i], P[i+1]} for some interior position i.
+func SubsequentPAtoms(h *Hypergraph, p FreePath) [][2]int {
+	var out [][2]int
+	for i := 1; i+1 < len(p); i++ {
+		for e1, edge1 := range h.Edges {
+			if !edge1.Vars[p[i-1]] || !edge1.Vars[p[i]] {
+				continue
+			}
+			for e2, edge2 := range h.Edges {
+				if e1 == e2 {
+					continue
+				}
+				if edge2.Vars[p[i]] && edge2.Vars[p[i+1]] {
+					out = append(out, [2]int{e1, e2})
+				}
+			}
+		}
+	}
+	return out
+}

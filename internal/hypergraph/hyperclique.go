@@ -1,0 +1,105 @@
+package hypergraph
+
+import (
+	"repro/internal/cq"
+)
+
+// IsKUniform reports whether every edge has exactly k vertices.
+func (h *Hypergraph) IsKUniform(k int) bool {
+	for _, e := range h.Edges {
+		if len(e.Vars) != k {
+			return false
+		}
+	}
+	return len(h.Edges) > 0
+}
+
+// IsHyperclique reports whether the vertex set V' is an l-hyperclique in a
+// k-uniform hypergraph (Section 2): |V'| = l > k and every k-subset of V'
+// is an edge.
+func (h *Hypergraph) IsHyperclique(vs cq.VarSet, k int) bool {
+	verts := vs.Sorted()
+	if len(verts) <= k {
+		return false
+	}
+	found := true
+	forEachSubset(verts, k, func(sub []cq.Variable) {
+		if !found {
+			return
+		}
+		set := cq.NewVarSet(sub...)
+		match := false
+		for _, e := range h.Edges {
+			if e.Vars.Equal(set) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			found = false
+		}
+	})
+	return found
+}
+
+// FindHyperclique searches for an l-hyperclique in a (l-1)-uniform
+// hypergraph, the structure whose detection the hyperclique hypothesis
+// conjectures to require super-linear time (and which Theorem 3(3) embeds
+// into cyclic CQs). Query-scale only: the search is exponential in the
+// vertex count.
+func (h *Hypergraph) FindHyperclique(l int) (cq.VarSet, bool) {
+	k := l - 1
+	if !h.IsKUniform(k) {
+		return nil, false
+	}
+	verts := h.Vertices().Sorted()
+	if len(verts) < l {
+		return nil, false
+	}
+	var result cq.VarSet
+	forEachSubset(verts, l, func(sub []cq.Variable) {
+		if result != nil {
+			return
+		}
+		cand := cq.NewVarSet(sub...)
+		if h.IsHyperclique(cand, k) {
+			result = cand
+		}
+	})
+	if result == nil {
+		return nil, false
+	}
+	return result, true
+}
+
+// forEachSubset invokes fn on every size-k subset of verts (in sorted
+// order).
+func forEachSubset(verts []cq.Variable, k int, fn func([]cq.Variable)) {
+	n := len(verts)
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := make([]cq.Variable, k)
+	for {
+		for i, j := range idx {
+			sub[i] = verts[j]
+		}
+		fn(sub)
+		// Advance the combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestIsKUniform(t *testing.T) {
+	h := FromVarSets(vs("a", "b"), vs("b", "c"))
+	if !h.IsKUniform(2) || h.IsKUniform(3) {
+		t.Errorf("uniformity wrong")
+	}
+	mixed := FromVarSets(vs("a", "b"), vs("b", "c", "d"))
+	if mixed.IsKUniform(2) {
+		t.Errorf("mixed arity reported uniform")
+	}
+	if (&Hypergraph{}).IsKUniform(2) {
+		t.Errorf("empty hypergraph reported uniform")
+	}
+}
+
+func TestFindHypercliqueTetrahedron(t *testing.T) {
+	// Tetra⟨3⟩: the 2-uniform triangle is a 3-hyperclique.
+	tri := FromVarSets(vs("x", "y"), vs("y", "z"), vs("z", "x"))
+	found, ok := tri.FindHyperclique(3)
+	if !ok || !found.Equal(vs("x", "y", "z")) {
+		t.Errorf("triangle hyperclique = %v, %v", found, ok)
+	}
+	// A path has none.
+	path := FromVarSets(vs("x", "y"), vs("y", "z"))
+	if _, ok := path.FindHyperclique(3); ok {
+		t.Errorf("path reported a hyperclique")
+	}
+}
+
+func TestFindHyperclique3Uniform(t *testing.T) {
+	// Tetra⟨4⟩: all four 3-subsets of {a,b,c,d}.
+	h := FromVarSets(
+		vs("a", "b", "c"), vs("a", "b", "d"),
+		vs("a", "c", "d"), vs("b", "c", "d"),
+	)
+	found, ok := h.FindHyperclique(4)
+	if !ok || !found.Equal(vs("a", "b", "c", "d")) {
+		t.Errorf("hyperclique = %v, %v", found, ok)
+	}
+	// Remove one face: no hyperclique.
+	h2 := FromVarSets(vs("a", "b", "c"), vs("a", "b", "d"), vs("a", "c", "d"))
+	if _, ok := h2.FindHyperclique(4); ok {
+		t.Errorf("incomplete tetrahedron reported a hyperclique")
+	}
+}
+
+// TestExample39HypercliqueClaim verifies the paper's structural claim in
+// Example 39: extending Q1 with the provided atom R(x1,x2,x3) "removes"
+// the cycle but introduces the hyperclique {x1,x2,x3,x4}.
+func TestExample39HypercliqueClaim(t *testing.T) {
+	q1 := cq.MustParseCQ("Q1(x2,x3,x4) <- R1(x2,x3,x4), R2(x1,x3,x4), R3(x1,x2,x4).")
+	h := FromCQ(q1)
+	if h.IsAcyclic() {
+		t.Fatalf("Example 39's Q1 should be cyclic")
+	}
+	// Add the provided atom {x1,x2,x3}: the hypergraph becomes 3-uniform
+	// and contains the 4-hyperclique, so it stays cyclic.
+	ext := h.WithEdge(vs("x1", "x2", "x3"))
+	if ext.IsAcyclic() {
+		t.Fatalf("extension should remain cyclic")
+	}
+	found, ok := ext.FindHyperclique(4)
+	if !ok || !found.Equal(vs("x1", "x2", "x3", "x4")) {
+		t.Errorf("hyperclique = %v, %v; the paper predicts {x1,x2,x3,x4}", found, ok)
+	}
+}
+
+func TestIsHypercliqueEdgeCases(t *testing.T) {
+	h := FromVarSets(vs("x", "y"), vs("y", "z"), vs("z", "x"))
+	if h.IsHyperclique(vs("x", "y"), 2) {
+		t.Errorf("set of size k accepted as hyperclique")
+	}
+	if h.IsHyperclique(vs("x", "y", "w"), 2) {
+		t.Errorf("non-clique accepted")
+	}
+	if _, ok := FromVarSets(vs("a", "b")).FindHyperclique(3); ok {
+		t.Errorf("too few vertices produced a hyperclique")
+	}
+}

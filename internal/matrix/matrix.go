@@ -1,0 +1,128 @@
+// Package matrix provides Boolean matrices for the mat-mul hypothesis
+// experiments: the lower-bound reductions of Lemma 25, Theorem 33 and
+// Example 20 encode Boolean matrix multiplication into UCQ evaluation, and
+// the experiment harness compares the UCQ route against this package's
+// direct product.
+package matrix
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Bool is an n×n Boolean matrix with bitset rows.
+type Bool struct {
+	n    int
+	rows [][]uint64
+}
+
+// New creates the zero n×n matrix.
+func New(n int) *Bool {
+	if n < 0 {
+		panic("matrix: negative dimension")
+	}
+	words := (n + 63) / 64
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = make([]uint64, words)
+	}
+	return &Bool{n: n, rows: rows}
+}
+
+// N returns the dimension.
+func (m *Bool) N() int { return m.n }
+
+// Set writes a 1 at (i, j).
+func (m *Bool) Set(i, j int) {
+	if i < 0 || j < 0 || i >= m.n || j >= m.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range", i, j))
+	}
+	m.rows[i][j/64] |= 1 << (j % 64)
+}
+
+// Get reads the bit at (i, j).
+func (m *Bool) Get(i, j int) bool {
+	if i < 0 || j < 0 || i >= m.n || j >= m.n {
+		return false
+	}
+	return m.rows[i][j/64]&(1<<(j%64)) != 0
+}
+
+// Ones counts the 1-entries.
+func (m *Bool) Ones() int {
+	total := 0
+	for _, row := range m.rows {
+		for _, w := range row {
+			total += bits.OnesCount64(w)
+		}
+	}
+	return total
+}
+
+// Pairs lists the coordinates of the 1-entries.
+func (m *Bool) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < m.n; i++ {
+		for w, word := range m.rows[i] {
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Multiply returns the Boolean product m·other: out[i][j] = ⋁_k m[i][k] ∧
+// other[k][j]. This is the direct baseline (word-parallel cubic) the
+// reductions race against.
+func (m *Bool) Multiply(other *Bool) *Bool {
+	if m.n != other.n {
+		panic("matrix: dimension mismatch")
+	}
+	out := New(m.n)
+	for i := 0; i < m.n; i++ {
+		for k := 0; k < m.n; k++ {
+			if !m.Get(i, k) {
+				continue
+			}
+			dst := out.rows[i]
+			src := other.rows[k]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports entry-wise equality.
+func (m *Bool) Equal(other *Bool) bool {
+	if m.n != other.n {
+		return false
+	}
+	for i := range m.rows {
+		for w := range m.rows[i] {
+			if m.rows[i][w] != other.rows[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Random samples an n×n matrix with the given 1-density deterministically.
+func Random(n int, density float64, seed int64) *Bool {
+	m := New(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}

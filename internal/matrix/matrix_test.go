@@ -1,0 +1,100 @@
+package matrix
+
+import "testing"
+
+func TestSetGet(t *testing.T) {
+	m := New(70) // spans more than one word
+	m.Set(0, 0)
+	m.Set(69, 69)
+	m.Set(3, 64)
+	if !m.Get(0, 0) || !m.Get(69, 69) || !m.Get(3, 64) {
+		t.Errorf("set bits missing")
+	}
+	if m.Get(0, 1) || m.Get(-1, 0) || m.Get(0, 99) {
+		t.Errorf("phantom bits")
+	}
+	if m.Ones() != 3 {
+		t.Errorf("Ones = %d", m.Ones())
+	}
+	pairs := m.Pairs()
+	if len(pairs) != 3 {
+		t.Errorf("Pairs = %v", pairs)
+	}
+}
+
+// bruteMultiply is the triple-loop reference.
+func bruteMultiply(a, b *Bool) *Bool {
+	out := New(a.N())
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			for k := 0; k < a.N(); k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					out.Set(i, j)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestMultiplyAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		a := Random(33, 0.2, seed)
+		b := Random(33, 0.25, seed+100)
+		got := a.Multiply(b)
+		want := bruteMultiply(a, b)
+		if !got.Equal(want) {
+			t.Errorf("seed %d: product mismatch", seed)
+		}
+	}
+}
+
+func TestMultiplyIdentityAndZero(t *testing.T) {
+	n := 20
+	id := New(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i)
+	}
+	a := Random(n, 0.3, 1)
+	if !a.Multiply(id).Equal(a) || !id.Multiply(a).Equal(a) {
+		t.Errorf("identity law broken")
+	}
+	zero := New(n)
+	if a.Multiply(zero).Ones() != 0 {
+		t.Errorf("zero law broken")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Random(10, 0.5, 2)
+	b := Random(10, 0.5, 2)
+	if !a.Equal(b) {
+		t.Errorf("same seed matrices differ")
+	}
+	b.Set(0, 0)
+	a2 := New(10)
+	if a.Equal(a2) && a.Ones() != 0 {
+		t.Errorf("unequal matrices reported equal")
+	}
+	if a.Equal(New(11)) {
+		t.Errorf("dimension mismatch reported equal")
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	m := Random(100, 0.5, 7)
+	ones := m.Ones()
+	if ones < 4000 || ones > 6000 {
+		t.Errorf("density off: %d ones of 10000", ones)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic on out-of-range Set")
+		}
+	}()
+	New(5).Set(5, 0)
+}

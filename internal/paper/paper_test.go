@@ -1,0 +1,45 @@
+package paper
+
+import "testing"
+
+func TestGalleryParsesAndIsWellFormed(t *testing.T) {
+	gallery := Gallery()
+	if len(gallery) < 12 {
+		t.Fatalf("gallery has %d entries", len(gallery))
+	}
+	names := make(map[string]bool)
+	for _, ex := range gallery {
+		if names[ex.Name] {
+			t.Errorf("duplicate name %s", ex.Name)
+		}
+		names[ex.Name] = true
+		u := ex.Query() // panics on malformed sources
+		if err := u.Validate(); err != nil {
+			t.Errorf("%s: %v", ex.Name, err)
+		}
+		switch ex.Verdict {
+		case "tractable", "intractable", "unknown":
+		default:
+			t.Errorf("%s: bad verdict %q", ex.Name, ex.Verdict)
+		}
+		if ex.Verdict == "intractable" && len(ex.Hypotheses) == 0 {
+			t.Errorf("%s: intractable without hypotheses", ex.Name)
+		}
+		if ex.Coverage.String() == "?" {
+			t.Errorf("%s: bad coverage", ex.Name)
+		}
+		if ex.Ref == "" || ex.Notes == "" {
+			t.Errorf("%s: missing ref or notes", ex.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	ex, ok := ByName("example2")
+	if !ok || ex.Verdict != "tractable" {
+		t.Errorf("ByName(example2) = %+v, %v", ex, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Errorf("ByName(nope) succeeded")
+	}
+}

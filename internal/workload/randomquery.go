@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/hypergraph"
+)
+
+// RandomAcyclicCQ generates a random acyclic conjunctive query together
+// with a variable set S for which it is S-connex. Acyclicity holds by
+// construction: atoms are laid out along a random join tree (each new atom
+// shares a subset of one earlier atom's variables and adds fresh ones);
+// S-connexity is found by sampling subsets and verified structurally.
+//
+// The generator drives the property tests that compare the constant-delay
+// engine against the naive evaluator on arbitrary query shapes.
+func RandomAcyclicCQ(rng *rand.Rand) (*cq.CQ, cq.VarSet) {
+	nAtoms := 2 + rng.Intn(4) // 2..5 atoms
+	var atoms []cq.Atom
+	fresh := 0
+	newVar := func() cq.Variable {
+		v := cq.Variable(fmt.Sprintf("v%d", fresh))
+		fresh++
+		return v
+	}
+
+	// First atom: 1..3 fresh variables.
+	first := 1 + rng.Intn(3)
+	var vars []cq.Variable
+	for i := 0; i < first; i++ {
+		vars = append(vars, newVar())
+	}
+	atoms = append(atoms, cq.Atom{Rel: "R0", Vars: vars})
+
+	for i := 1; i < nAtoms; i++ {
+		parent := atoms[rng.Intn(len(atoms))]
+		// Share a random subset of the parent's variables (possibly empty:
+		// a disconnected component), then add fresh ones.
+		var shared []cq.Variable
+		for _, v := range parent.Vars {
+			if rng.Intn(2) == 0 {
+				shared = append(shared, v)
+			}
+		}
+		extra := 1 + rng.Intn(2)
+		for j := 0; j < extra; j++ {
+			shared = append(shared, newVar())
+		}
+		atoms = append(atoms, cq.Atom{Rel: fmt.Sprintf("R%d", i), Vars: shared})
+	}
+
+	q := &cq.CQ{Name: "Q", Atoms: atoms}
+	all := q.Vars()
+	h := hypergraph.FromCQ(q)
+
+	// Sample S candidates; the full variable set is always S-connex for an
+	// acyclic query, so the loop terminates.
+	allVars := all.Sorted()
+	var s cq.VarSet
+	for attempt := 0; attempt < 8; attempt++ {
+		cand := make(cq.VarSet)
+		for _, v := range allVars {
+			if rng.Intn(2) == 0 {
+				cand[v] = true
+			}
+		}
+		if h.IsSConnex(cand) {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		s = all.Clone()
+	}
+	// Head = S in sorted order, so head answers equal Q(I)|S.
+	q.Head = s.Sorted()
+	return q, s
+}
+
+// RandomInstanceForCQ fills the query's relations with random data.
+func RandomInstanceForCQ(q *cq.CQ, rows int, width int64, seed int64) *database.Instance {
+	return Random(cq.MustUCQ(q).Schema(), rows, width, seed)
+}

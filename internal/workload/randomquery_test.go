@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestRandomAcyclicCQProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 200; trial++ {
+		q, s := RandomAcyclicCQ(rng)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid query: %v", trial, err)
+		}
+		h := hypergraph.FromCQ(q)
+		if !h.IsAcyclic() {
+			t.Fatalf("trial %d: cyclic query %s", trial, q)
+		}
+		if !h.IsSConnex(s) {
+			t.Fatalf("trial %d: not %v-connex: %s", trial, s, q)
+		}
+		if !q.Free().Equal(s) {
+			t.Fatalf("trial %d: head %v does not match S %v", trial, q.Head, s)
+		}
+		if len(q.Atoms) < 2 || len(q.Atoms) > 5 {
+			t.Fatalf("trial %d: %d atoms", trial, len(q.Atoms))
+		}
+		if !q.SelfJoinFree() {
+			t.Fatalf("trial %d: self-join in generated query", trial)
+		}
+	}
+}
+
+func TestRandomInstanceForCQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, _ := RandomAcyclicCQ(rng)
+	inst := RandomInstanceForCQ(q, 12, 4, 7)
+	for _, a := range q.Atoms {
+		r := inst.Relation(a.Rel)
+		if r == nil {
+			t.Fatalf("relation %s missing", a.Rel)
+		}
+		if r.Arity() != len(a.Vars) {
+			t.Errorf("relation %s arity %d, atom wants %d", a.Rel, r.Arity(), len(a.Vars))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package yannakakis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/workload"
+)
+
+// TestRandomQueriesAgainstBaseline is the engine's main property test:
+// for hundreds of randomly shaped acyclic queries with random S-connex
+// enumeration sets and random data, the constant-delay engine must produce
+// exactly the baseline's answer set, duplicate-free and without DFS
+// backtracking.
+func TestRandomQueriesAgainstBaseline(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	rng := rand.New(rand.NewSource(20260610))
+	for trial := 0; trial < trials; trial++ {
+		q, s := workload.RandomAcyclicCQ(rng)
+		inst := workload.RandomInstanceForCQ(q, 15+rng.Intn(30), 4+rng.Int63n(4), rng.Int63())
+
+		plan, err := Prepare(q, inst, s)
+		if err != nil {
+			t.Fatalf("trial %d: Prepare(%s, S=%v): %v", trial, q, s, err)
+		}
+		it := plan.Iterator()
+		got := make(map[string]bool)
+		for it.Next() {
+			k := it.STuple().Key()
+			if got[k] {
+				t.Fatalf("trial %d: duplicate answer %v for %s", trial, it.STuple(), q)
+			}
+			got[k] = true
+		}
+		if it.Backtracks != 0 {
+			t.Errorf("trial %d: %d backtracks after full reduction (%s)", trial, it.Backtracks, q)
+		}
+
+		// Baseline: head = S in sorted order by construction.
+		want, err := baseline.EvalCQ(q, inst)
+		if err != nil {
+			t.Fatalf("trial %d: baseline: %v", trial, err)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("trial %d: %s S=%v: engine %d answers, baseline %d",
+				trial, q, s, len(got), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if !got[want.Row(i).Key()] {
+				t.Fatalf("trial %d: missing answer %v for %s", trial, want.Row(i), q)
+			}
+		}
+	}
+}
+
+// TestRandomQueriesExtendIsHomomorphism checks Lemma 8's extension on
+// random queries: every extended assignment satisfies every atom.
+func TestRandomQueriesExtendIsHomomorphism(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		q, s := workload.RandomAcyclicCQ(rng)
+		inst := workload.RandomInstanceForCQ(q, 20, 4, rng.Int63())
+		plan, err := Prepare(q, inst, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		it := plan.Iterator()
+		checked := 0
+		for it.Next() && checked < 50 {
+			it.Extend()
+			checked++
+			for _, a := range q.Atoms {
+				rel := inst.MustRelation(a.Rel)
+				found := false
+				for i := 0; i < rel.Len(); i++ {
+					row := rel.Row(i)
+					match := true
+					for c, v := range a.Vars {
+						if row[c] != it.Value(v) {
+							match = false
+							break
+						}
+					}
+					if match {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: extension violates %s in %s", trial, a, q)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomQueriesContains checks the constant-time membership test
+// against the enumerated answer set.
+func TestRandomQueriesContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		q, s := workload.RandomAcyclicCQ(rng)
+		inst := workload.RandomInstanceForCQ(q, 20, 4, rng.Int63())
+		plan, err := Prepare(q, inst, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		answers := plan.Materialize()
+		for i := 0; i < answers.Len(); i++ {
+			if !plan.Contains(answers.Row(i)) {
+				t.Fatalf("trial %d: Contains rejected answer %v", trial, answers.Row(i))
+			}
+		}
+		// Perturb an answer; membership must agree with a linear scan.
+		// (Skip nullary answers: S may legitimately be empty.)
+		if answers.Len() > 0 && answers.Arity() > 0 {
+			probe := answers.Row(0).Clone()
+			probe[0] = probe[0] + 1
+			inSet := false
+			for i := 0; i < answers.Len(); i++ {
+				if answers.Row(i).Equal(probe) {
+					inSet = true
+					break
+				}
+			}
+			if plan.Contains(probe) != inSet {
+				t.Fatalf("trial %d: Contains(%v) = %v, scan says %v",
+					trial, probe, plan.Contains(probe), inSet)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package ucq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/database"
+)
+
+// ReadRelationCSV reads a relation from comma- or whitespace-separated
+// integer rows. Empty lines and lines starting with '#' are skipped. The
+// arity is fixed by the first data row.
+func ReadRelationCSV(r io.Reader, name string) (*Relation, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	var rel *database.Relation
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == ';'
+		})
+		vals := make([]int64, 0, len(fields))
+		for _, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ucq: %s line %d: %v", name, line, err)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if rel == nil {
+			rel = database.NewRelation(name, len(vals))
+		}
+		if len(vals) != rel.Arity() {
+			return nil, fmt.Errorf("ucq: %s line %d: %d values, expected %d", name, line, len(vals), rel.Arity())
+		}
+		rel.AppendInts(vals...)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ucq: reading %s: %v", name, err)
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("ucq: relation %s has no rows; arity unknown", name)
+	}
+	return rel, nil
+}
+
+// WriteRelationCSV writes the relation as comma-separated rows in sorted
+// order. Tagged values render as payload#tag.
+func WriteRelationCSV(w io.Writer, rel *Relation) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range rel.SortedRows() {
+		for i, v := range row {
+			if i > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(v.String()); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,207 @@
+package ucq
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/database"
+	"repro/internal/enumeration"
+	"repro/internal/homomorphism"
+	"repro/internal/yannakakis"
+)
+
+// Mode states which evaluation strategy a plan uses.
+type Mode int
+
+const (
+	// ConstantDelay: the query was certified free-connex; enumeration runs
+	// with linear preprocessing and constant delay (Theorem 12).
+	ConstantDelay Mode = iota
+	// Naive: no certificate was found; evaluation joins and deduplicates
+	// with no delay guarantee.
+	Naive
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	if m == ConstantDelay {
+		return "constant-delay"
+	}
+	return "naive"
+}
+
+// PlanOptions tunes plan construction.
+type PlanOptions struct {
+	// Search bounds the certificate search.
+	Search *SearchOptions
+	// ForceNaive skips certification and uses the naive evaluator.
+	ForceNaive bool
+	// RequireConstantDelay makes NewPlan fail instead of falling back to
+	// the naive evaluator.
+	RequireConstantDelay bool
+	// KeepRedundant skips the containment-based reduction (Example 1);
+	// redundant CQs never change the answer set, only the plan.
+	KeepRedundant bool
+}
+
+// Plan is a prepared evaluation of one UCQ over one instance.
+type Plan struct {
+	// Query is the evaluated union as given.
+	Query *UCQ
+	// Evaluated is the non-redundant union actually planned (equal to
+	// Query unless containment pruning removed CQs).
+	Evaluated *UCQ
+	// Mode states the strategy in use.
+	Mode Mode
+	// Cert is the free-connexity certificate (ConstantDelay mode only).
+	Cert *Certificate
+
+	union *core.UnionPlan
+	inst  *database.Instance
+}
+
+// NewPlan prepares the evaluation of u over inst: it removes redundant
+// (contained) CQs, searches for a free-connexity certificate and builds
+// the Theorem 12 pipeline, falling back to the naive evaluator when no
+// certificate is found (unless RequireConstantDelay is set).
+func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &PlanOptions{}
+	}
+	work := u
+	if !opts.KeepRedundant {
+		work = homomorphism.RemoveRedundant(u)
+	}
+	p := &Plan{Query: u, Evaluated: work, inst: inst}
+	if !opts.ForceNaive {
+		if cert, ok := core.FindCertificate(work, opts.Search); ok {
+			up, err := core.NewUnionPlan(work, cert, inst)
+			if err != nil {
+				return nil, err
+			}
+			p.Mode = ConstantDelay
+			p.Cert = cert
+			p.union = up
+			return p, nil
+		}
+	}
+	if opts.RequireConstantDelay {
+		return nil, fmt.Errorf("ucq: no free-connexity certificate found and constant delay was required")
+	}
+	// Validate relations up front so Iterator can't fail later.
+	for _, d := range u.Schema() {
+		r := inst.Relation(d.Name)
+		if r == nil {
+			return nil, fmt.Errorf("ucq: no relation %q in the instance", d.Name)
+		}
+		if r.Arity() != d.Arity {
+			return nil, fmt.Errorf("ucq: relation %q has arity %d, query uses %d", d.Name, r.Arity(), d.Arity)
+		}
+	}
+	p.Mode = Naive
+	return p, nil
+}
+
+// Iterator returns a fresh duplicate-free stream of the union's answers.
+func (p *Plan) Iterator() Answers {
+	if p.Mode == ConstantDelay {
+		return p.union.Iterator()
+	}
+	rel, err := baseline.EvalUCQ(p.Evaluated, p.inst)
+	if err != nil {
+		// NewPlan validated the schema; reaching this is a bug.
+		panic(fmt.Sprintf("ucq: naive evaluation failed after validation: %v", err))
+	}
+	return enumeration.NewSliceIterator(rel.Rows())
+}
+
+// Materialize drains a fresh iterator into a relation.
+func (p *Plan) Materialize() *Relation {
+	out := database.NewRelation("answers", p.Query.Arity())
+	it := p.Iterator()
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out.Append(t...)
+	}
+}
+
+// Count drains a fresh iterator and returns the number of answers.
+func (p *Plan) Count() int {
+	n := 0
+	it := p.Iterator()
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Explain renders a human-readable description of the plan: in
+// constant-delay mode, the certified extensions, provider runs and per-CQ
+// engine plans; in naive mode, a one-line notice.
+func (p *Plan) Explain() string {
+	if p.Mode == ConstantDelay {
+		return p.union.Explain()
+	}
+	return "naive plan: join and deduplicate (no certificate; no delay guarantee)\n"
+}
+
+// Enumerate is the one-call convenience: plan and return the answer stream.
+func Enumerate(u *UCQ, inst *Instance) (Answers, error) {
+	p, err := NewPlan(u, inst, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.Iterator(), nil
+}
+
+// EnumerateCQ enumerates a single free-connex CQ with the CDY engine
+// directly (Theorem 3(1)); it errors when the CQ is not free-connex.
+func EnumerateCQ(q *CQ, inst *Instance) (Answers, error) {
+	plan, err := yannakakis.Prepare(q, inst, nil)
+	if err != nil {
+		return nil, err
+	}
+	it := plan.Iterator()
+	return enumeration.Func(func() (Tuple, bool) {
+		if !it.Next() {
+			return nil, false
+		}
+		return it.HeadTuple(), true
+	}), nil
+}
+
+// DecideCQ reports whether an acyclic CQ has at least one answer, in
+// linear time (Theorem 3's tractable Decide).
+func DecideCQ(q *CQ, inst *Instance) (bool, error) {
+	return yannakakis.Decide(q, inst)
+}
+
+// Decide reports whether the union has at least one answer. Acyclic CQs are
+// decided in linear time; cyclic ones fall back to the naive evaluator.
+func Decide(u *UCQ, inst *Instance) (bool, error) {
+	for _, q := range u.CQs {
+		var ok bool
+		var err error
+		if ClassifyCQ(q) == Cyclic {
+			ok, err = baseline.DecideCQ(q, inst)
+		} else {
+			ok, err = yannakakis.Decide(q, inst)
+		}
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
