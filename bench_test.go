@@ -366,6 +366,114 @@ func BenchmarkExperimentSuiteQuick(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationDedupTupleSetVsStringKey isolates the tuple-key layer:
+// the union dedup that every answer passes through, as a string-keyed map
+// (one key allocation per probe) vs the hashed, arena-backed TupleSet. Run
+// with -benchmem: the TupleSet side should show fewer ns/op and allocs/op.
+func BenchmarkAblationDedupTupleSetVsStringKey(b *testing.B) {
+	const n, arity = 20000, 3
+	tuples := make([]database.Tuple, n)
+	for i := range tuples {
+		// Every other tuple repeats its predecessor: a 50% duplicate rate,
+		// the regime the Cheater's Lemma combinator lives in.
+		j := int64(i - i%2)
+		tuples[i] = database.Tuple{database.V(j), database.V(j * 31), database.V(j % 97)}
+	}
+	b.Run("string-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seen := make(map[string]bool, n)
+			fresh := 0
+			for _, t := range tuples {
+				k := t.Key()
+				if !seen[k] {
+					seen[k] = true
+					fresh++
+				}
+			}
+			if fresh != n/2 {
+				b.Fatal("bad dedup")
+			}
+		}
+	})
+	b.Run("tupleset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seen := database.NewTupleSet(n)
+			fresh := 0
+			for _, t := range tuples {
+				if seen.Insert(t) {
+					fresh++
+				}
+			}
+			if fresh != n/2 {
+				b.Fatal("bad dedup")
+			}
+		}
+	})
+}
+
+// BenchmarkE12UnionParallelVsSequential: the Theorem 12 pipeline's two
+// enumeration modes over one prepared plan — the sequential Cheater-wrapped
+// chain vs the per-branch worker merge. Preparation is excluded: the
+// comparison is pure enumeration throughput.
+func BenchmarkE12UnionParallelVsSequential(b *testing.B) {
+	u := MustParse(`
+		Q1(x,y,v,u) <- R1(x,z1), R2(z1,z2), R3(z2,z3), R4(z3,y), R5(y,v,u).
+		Q2(x,y,v,u) <- R1(x,y), R2(y,v), R3(v,z1), R4(z1,u), R5(u,t1,t2).
+		Q3(x,y,v,u) <- R1(x,z1), R2(z1,y), R3(y,v), R4(v,u), R5(u,t1,t2).
+	`)
+	inst := workload.Example13Instance(800, 2, 1)
+	cert, ok := core.FindCertificate(u, nil)
+	if !ok {
+		b.Fatal("no certificate")
+	}
+	plan, err := core.NewUnionPlan(u, cert, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := drain(b, plan.Iterator())
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := drain(b, plan.Iterator()); got != want {
+				b.Fatalf("answers = %d, want %d", got, want)
+			}
+		}
+		b.ReportMetric(float64(want), "answers/op")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := drain(b, plan.IteratorParallel(0)); got != want {
+				b.Fatalf("answers = %d, want %d", got, want)
+			}
+		}
+		b.ReportMetric(float64(want), "answers/op")
+	})
+}
+
+// BenchmarkE13NaiveUnionParallel: the naive evaluator's sequential vs
+// parallel member-CQ evaluation on an intractable union.
+func BenchmarkE13NaiveUnionParallel(b *testing.B) {
+	u := MustParse(`
+		Q1(x,y) <- R1(x,z), R2(z,y).
+		Q2(x,y) <- R2(x,z), R1(z,y).
+		Q3(x,y) <- R1(x,z), R1(z,y).
+	`)
+	inst := workload.Chain([]string{"R1", "R2"}, []int{2, 2}, 3000, 3, 9)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.EvalUCQ(u, inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.EvalUCQParallel(u, inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE11FunctionalDependencies: the Remark 2 FD-extension route on
 // the mat-mul query.
 func BenchmarkE11FunctionalDependencies(b *testing.B) {

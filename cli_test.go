@@ -74,6 +74,35 @@ func TestCLISmoke(t *testing.T) {
 		t.Errorf("ucq-run count = %q, want 6\n%s", lines[len(lines)-1], out)
 	}
 
+	// -parallel mode counts the same answer set.
+	out, err = exec.Command("go", "run", "./cmd/ucq-run",
+		"-q", queryPath,
+		"-r", "R1="+filepath.Join(dir, "R1.csv"),
+		"-r", "R2="+filepath.Join(dir, "R2.csv"),
+		"-r", "R3="+filepath.Join(dir, "R3.csv"),
+		"-count", "-parallel", "-batch", "2",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-run -parallel: %v\n%s", err, out)
+	}
+	lines = strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[len(lines)-1] != "6" {
+		t.Errorf("ucq-run -parallel count = %q, want 6\n%s", lines[len(lines)-1], out)
+	}
+
+	// -parallel with -limit abandons the stream mid-way; the process must
+	// still exit cleanly (workers are released, not leaked).
+	out, err = exec.Command("go", "run", "./cmd/ucq-run",
+		"-q", queryPath,
+		"-r", "R1="+filepath.Join(dir, "R1.csv"),
+		"-r", "R2="+filepath.Join(dir, "R2.csv"),
+		"-r", "R3="+filepath.Join(dir, "R3.csv"),
+		"-parallel", "-limit", "1",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-run -parallel -limit: %v\n%s", err, out)
+	}
+
 	// ucq-experiments -quick renders the full document.
 	out, err = exec.Command("go", "run", "./cmd/ucq-experiments", "-quick").CombinedOutput()
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive]
+//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel]
 //
 // CSV rows are comma/space/semicolon-separated integers; '#' starts a
 // comment line.
@@ -41,6 +41,8 @@ func main() {
 	limit := flag.Int("limit", 0, "stop after N answers (0 = all)")
 	mode := flag.String("mode", "auto", "evaluation mode: auto | naive")
 	countOnly := flag.Bool("count", false, "print only the answer count")
+	parallel := flag.Bool("parallel", false, "drain union branches concurrently (answer order nondeterministic)")
+	batch := flag.Int("batch", 0, "parallel batch size per worker (0 = default)")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -70,7 +72,11 @@ func main() {
 		inst.AddRelation(rel)
 	}
 
-	opts := &ucq.PlanOptions{ForceNaive: *mode == "naive"}
+	opts := &ucq.PlanOptions{
+		ForceNaive:    *mode == "naive",
+		Parallel:      *parallel,
+		ParallelBatch: *batch,
+	}
 	plan, err := ucq.NewPlan(u, inst, opts)
 	if err != nil {
 		fatal(err)
@@ -78,6 +84,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation\n", plan.Mode)
 
 	it := plan.Iterator()
+	defer ucq.CloseAnswers(it) // release workers when -limit cuts a parallel stream short
 	n := 0
 	for {
 		t, ok := it.Next()

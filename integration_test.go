@@ -49,6 +49,42 @@ func TestGalleryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestGalleryEndToEndParallel re-runs the gallery with PlanOptions.Parallel
+// set: every example — constant-delay or naive fallback — must produce the
+// answer set of its sequential plan.
+func TestGalleryEndToEndParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for _, ex := range paper.Gallery() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			u := ex.Query()
+			inst := workload.RandomForQuery(u, 20, 4, rng.Int63())
+			seq, err := NewPlan(u, inst, nil)
+			if err != nil {
+				t.Fatalf("NewPlan: %v", err)
+			}
+			// A batch of 3 forces mid-batch boundaries on small outputs.
+			par, err := NewPlan(u, inst, &PlanOptions{Parallel: true, ParallelBatch: 3})
+			if err != nil {
+				t.Fatalf("NewPlan(parallel): %v", err)
+			}
+			if par.Mode != seq.Mode {
+				t.Fatalf("parallel plan mode %v, sequential %v", par.Mode, seq.Mode)
+			}
+			want := seq.Materialize().SortedRows()
+			got := par.Materialize().SortedRows()
+			if len(got) != len(want) {
+				t.Fatalf("(%v mode) %d answers, want %d", par.Mode, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("answer %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
 // TestRedundantUnionStillEvaluates exercises Example 1 end to end: the
 // union with a redundant CQ must produce the same answers as its
 // reduction.

@@ -10,6 +10,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/database"
@@ -27,15 +28,13 @@ func EvalCQ(q *cq.CQ, inst *database.Instance) (*database.Relation, error) {
 		return nil, err
 	}
 	out := database.NewRelation(q.Name, len(q.Head))
-	seen := make(map[string]bool)
+	seen := database.NewTupleSet(0)
 	head := make(database.Tuple, len(q.Head))
 	plan.run(func(assign map[cq.Variable]database.Value) bool {
 		for i, v := range q.Head {
 			head[i] = assign[v]
 		}
-		k := head.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.Insert(head) {
 			out.Append(head...)
 		}
 		return true
@@ -63,23 +62,57 @@ func EvalUCQ(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	out := database.NewRelation("union", u.Arity())
-	seen := make(map[string]bool)
-	for _, q := range u.CQs {
+	rels := make([]*database.Relation, len(u.CQs))
+	for i, q := range u.CQs {
 		r, err := EvalCQ(q, inst)
 		if err != nil {
 			return nil, err
 		}
+		rels[i] = r
+	}
+	return mergeUnion(u, rels), nil
+}
+
+// EvalUCQParallel computes the same relation as EvalUCQ, evaluating every
+// member CQ in its own goroutine over the shared (read-only) instance and
+// merging the member answers through one dedup set. Output order follows
+// CQ order, so the result equals EvalUCQ's row for row.
+func EvalUCQParallel(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	rels := make([]*database.Relation, len(u.CQs))
+	errs := make([]error, len(u.CQs))
+	var wg sync.WaitGroup
+	for i, q := range u.CQs {
+		wg.Add(1)
+		go func(i int, q *cq.CQ) {
+			defer wg.Done()
+			rels[i], errs[i] = EvalCQ(q, inst)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeUnion(u, rels), nil
+}
+
+// mergeUnion concatenates per-CQ answer relations under one dedup set.
+func mergeUnion(u *cq.UCQ, rels []*database.Relation) *database.Relation {
+	out := database.NewRelation("union", u.Arity())
+	seen := database.NewTupleSet(0)
+	for _, r := range rels {
 		for i := 0; i < r.Len(); i++ {
 			row := r.Row(i)
-			k := row.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Insert(row) {
 				out.Append(row...)
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // DecideUCQ reports whether the union has at least one answer.

@@ -188,12 +188,31 @@ func (p *UnionPlan) Explain() string {
 // Iterator returns a fresh duplicate-free iterator over the union's
 // answers (head tuples, positional).
 func (p *UnionPlan) Iterator() enumeration.Iterator {
+	return enumeration.NewCheater(enumeration.NewChain(p.branches()...), p.m)
+}
+
+// IteratorParallel returns a fresh duplicate-free iterator that drains the
+// union's branches concurrently, one worker goroutine per branch, merging
+// through a shared dedup set. The answer set is identical to Iterator's;
+// the order is nondeterministic. The constant-delay guarantee is traded for
+// throughput: answers arrive as fast as the slowest lock-free batch merge,
+// not one by one. batchSize ≤ 0 selects enumeration.DefaultBatchSize.
+//
+// The returned union must be drained to exhaustion or Closed; see
+// enumeration.ParallelUnion.
+func (p *UnionPlan) IteratorParallel(batchSize int) *enumeration.ParallelUnion {
+	return enumeration.UnionAllParallel(p.U.Arity(), batchSize, p.branches()...)
+}
+
+// branches builds the union's member streams: the bonus answers recorded
+// during preprocessing, then one head stream per extended CQ.
+func (p *UnionPlan) branches() []enumeration.Iterator {
 	its := make([]enumeration.Iterator, 0, len(p.plans)+1)
 	its = append(its, enumeration.NewSliceIterator(p.bonus))
 	for _, plan := range p.plans {
 		its = append(its, &headIterator{it: plan.Iterator()})
 	}
-	return enumeration.NewCheater(enumeration.NewChain(its...), p.m)
+	return its
 }
 
 // Materialize drains a fresh iterator into a relation.
@@ -220,6 +239,18 @@ func (h *headIterator) Next() (database.Tuple, bool) {
 		return nil, false
 	}
 	return h.it.HeadTuple(), true
+}
+
+// NextBatch implements enumeration.BatchIterator: head values are appended
+// straight from the engine's assignment registers, with no per-answer tuple
+// allocation.
+func (h *headIterator) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	n := 0
+	for n < max && h.it.Next() {
+		buf = h.it.AppendHead(buf)
+		n++
+	}
+	return buf, n
 }
 
 // Contains implements enumeration.Testable via the plan's constant-time

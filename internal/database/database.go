@@ -88,7 +88,9 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Key encodes the tuple as a map key.
+// Key encodes the tuple as a string map key. The engine's own dedup sites
+// use Hash and TupleSet instead; Key remains for tests and external callers
+// that want a map-friendly identity.
 func (t Tuple) Key() string {
 	return encodeKey(t)
 }
@@ -217,16 +219,14 @@ func (r *Relation) Dedup() {
 		}
 		return
 	}
-	seen := make(map[string]bool, r.Len())
+	n := r.Len()
+	seen := NewTupleSet(n)
 	out := r.data[:0]
-	for i := 0; i < r.Len(); i++ {
+	for i := 0; i < n; i++ {
 		row := r.Row(i)
-		k := encodeKey(row)
-		if seen[k] {
-			continue
+		if seen.Insert(row) {
+			out = append(out, row...)
 		}
-		seen[k] = true
-		out = append(out, row...)
 	}
 	r.data = out
 }
@@ -248,18 +248,16 @@ func (r *Relation) Project(name string, cols []int) *Relation {
 		}
 	}
 	out := NewRelation(name, len(cols))
-	seen := make(map[string]bool, r.Len())
+	seen := NewTupleSet(r.Len())
 	row := make(Tuple, len(cols))
 	for i := 0; i < r.Len(); i++ {
 		src := r.Row(i)
 		for j, c := range cols {
 			row[j] = src[c]
 		}
-		k := encodeKey(row)
-		if seen[k] {
+		if !seen.Insert(row) {
 			continue
 		}
-		seen[k] = true
 		if len(cols) == 0 {
 			out.nullaryLen = 1
 			break
@@ -293,37 +291,48 @@ func (r *Relation) String() string {
 }
 
 // Index is a hash index on a column subset of a relation. Lookups return
-// row numbers.
+// row numbers. Keys are interned in a TupleSet, so a lookup hashes the key
+// tuple in place and allocates nothing.
 type Index struct {
 	rel  *Relation
 	cols []int
-	m    map[string][]int32
+	keys *TupleSet
+	// rows[e] lists the rows whose projection is key entry e.
+	rows [][]int32
 }
 
 // BuildIndex indexes the relation on the given columns. The index snapshots
 // row numbers; it must be rebuilt if the relation changes.
 func (r *Relation) BuildIndex(cols []int) *Index {
-	ix := &Index{rel: r, cols: append([]int(nil), cols...), m: make(map[string][]int32, r.Len())}
+	ix := &Index{rel: r, cols: append([]int(nil), cols...), keys: NewTupleSet(r.Len())}
 	key := make(Tuple, len(cols))
 	for i := 0; i < r.Len(); i++ {
 		row := r.Row(i)
 		for j, c := range cols {
 			key[j] = row[c]
 		}
-		k := encodeKey(key)
-		ix.m[k] = append(ix.m[k], int32(i))
+		e, fresh := ix.keys.Add(key)
+		if fresh {
+			ix.rows = append(ix.rows, nil)
+		}
+		ix.rows[e] = append(ix.rows[e], int32(i))
 	}
 	return ix
 }
 
 // Lookup returns the row numbers whose indexed columns equal key.
 func (ix *Index) Lookup(key []Value) []int32 {
-	return ix.m[encodeKey(key)]
+	e := ix.keys.IndexOf(key)
+	if e < 0 {
+		return nil
+	}
+	return ix.rows[e]
 }
 
-// Contains reports whether any row matches key.
+// Contains reports whether any row matches key. Every interned key has at
+// least one row, so membership in the key set suffices.
 func (ix *Index) Contains(key []Value) bool {
-	return len(ix.m[encodeKey(key)]) > 0
+	return ix.keys.Contains(key)
 }
 
 // Cols returns the indexed columns.
@@ -335,16 +344,16 @@ func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
 	if len(rCols) != len(sCols) {
 		panic("database: semijoin column count mismatch")
 	}
-	// With no shared columns the key degenerates to the empty string and
+	// With no shared columns the key degenerates to the empty tuple and
 	// the semijoin keeps all of r iff s is non-empty, as it should.
-	set := make(map[string]bool, s.Len())
+	set := NewTupleSet(s.Len())
 	key := make(Tuple, len(sCols))
 	for i := 0; i < s.Len(); i++ {
 		row := s.Row(i)
 		for j, c := range sCols {
 			key[j] = row[c]
 		}
-		set[encodeKey(key)] = true
+		set.Insert(key)
 	}
 	out := NewRelation(r.Name, r.Arity())
 	rkey := make(Tuple, len(rCols))
@@ -353,7 +362,7 @@ func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
 		for j, c := range rCols {
 			rkey[j] = row[c]
 		}
-		if set[encodeKey(rkey)] {
+		if set.Contains(rkey) {
 			if r.Arity() == 0 {
 				out.nullaryLen++
 			} else {

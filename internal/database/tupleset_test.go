@@ -1,0 +1,127 @@
+package database
+
+import "testing"
+
+func TestTupleHashEqualTuples(t *testing.T) {
+	a := Tuple{V(1), V(2), V(3)}
+	b := Tuple{V(1), V(2), V(3)}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal tuples must hash equal")
+	}
+	if a.Hash() == (Tuple{V(1), V(3), V(2)}).Hash() {
+		t.Fatal("permuted tuple should (overwhelmingly) hash differently")
+	}
+	if (Tuple{V(1)}).Hash() == (Tuple{TaggedValue(1, 2)}).Hash() {
+		t.Fatal("tagged value should hash differently from untagged")
+	}
+}
+
+func TestTupleSetInsertContains(t *testing.T) {
+	s := NewTupleSet(0)
+	if s.Len() != 0 {
+		t.Fatalf("empty set Len = %d", s.Len())
+	}
+	if s.Contains(Tuple{V(1), V(2)}) {
+		t.Fatal("empty set contains a tuple")
+	}
+	if !s.Insert(Tuple{V(1), V(2)}) {
+		t.Fatal("first insert not fresh")
+	}
+	if s.Insert(Tuple{V(1), V(2)}) {
+		t.Fatal("second insert fresh")
+	}
+	if !s.Contains(Tuple{V(1), V(2)}) {
+		t.Fatal("inserted tuple missing")
+	}
+	if s.Contains(Tuple{V(2), V(1)}) {
+		t.Fatal("set contains a never-inserted tuple")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestTupleSetGrowAndViews inserts enough tuples to force several slot-table
+// doublings and arena reallocations, then checks membership, entry count and
+// that views handed out early (before any growth) still hold their values.
+func TestTupleSetGrowAndViews(t *testing.T) {
+	const n = 10000
+	s := NewTupleSet(0)
+	first, fresh := s.InsertGet(Tuple{V(0), V(0)})
+	if !fresh {
+		t.Fatal("first insert not fresh")
+	}
+	for i := int64(1); i < n; i++ {
+		if !s.Insert(Tuple{V(i), V(i * 31)}) {
+			t.Fatalf("insert %d not fresh", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if !s.Contains(Tuple{V(i), V(i * 31)}) {
+			t.Fatalf("tuple %d missing after growth", i)
+		}
+		if s.Insert(Tuple{V(i), V(i * 31)}) {
+			t.Fatalf("re-insert %d fresh", i)
+		}
+	}
+	if !first.Equal(Tuple{V(0), V(0)}) {
+		t.Fatalf("early view changed: %v", first)
+	}
+}
+
+func TestTupleSetInsertGetStableCopy(t *testing.T) {
+	s := NewTupleSet(0)
+	buf := Tuple{V(7), V(8)}
+	stored, fresh := s.InsertGet(buf)
+	if !fresh || !stored.Equal(Tuple{V(7), V(8)}) {
+		t.Fatalf("InsertGet = %v, %v", stored, fresh)
+	}
+	// The stored tuple is a copy: mutating the caller's buffer must not
+	// affect the set.
+	buf[0] = V(99)
+	if !s.Contains(Tuple{V(7), V(8)}) || s.Contains(buf) {
+		t.Fatal("stored tuple aliases the caller's buffer")
+	}
+	again, fresh2 := s.InsertGet(Tuple{V(7), V(8)})
+	if fresh2 || !again.Equal(stored) {
+		t.Fatalf("second InsertGet = %v, %v", again, fresh2)
+	}
+}
+
+func TestTupleSetMixedArity(t *testing.T) {
+	s := NewTupleSet(4)
+	for _, tu := range []Tuple{{}, {V(1)}, {V(1), V(1)}, {V(1), V(1), V(1)}} {
+		if !s.Insert(tu) {
+			t.Fatalf("insert %v not fresh", tu)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	// A prefix of a longer tuple is a distinct entry, not a match.
+	if s.Insert(Tuple{}) || s.Insert(Tuple{V(1), V(1)}) {
+		t.Fatal("duplicate reported fresh")
+	}
+	if got := s.At(0); len(got) != 0 {
+		t.Fatalf("At(0) = %v, want empty", got)
+	}
+	if got := s.At(3); !got.Equal(Tuple{V(1), V(1), V(1)}) {
+		t.Fatalf("At(3) = %v", got)
+	}
+}
+
+func TestTupleSetEmptyTuple(t *testing.T) {
+	s := NewTupleSet(0)
+	if s.Contains(Tuple{}) {
+		t.Fatal("empty set contains the empty tuple")
+	}
+	if !s.Insert(Tuple{}) {
+		t.Fatal("empty-tuple insert not fresh")
+	}
+	if s.Insert(Tuple{}) || !s.Contains(Tuple{}) {
+		t.Fatal("empty-tuple dedup broken")
+	}
+}

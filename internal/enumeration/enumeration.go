@@ -48,6 +48,17 @@ func (s *SliceIterator) Next() (database.Tuple, bool) {
 	return t, true
 }
 
+// NextBatch implements BatchIterator.
+func (s *SliceIterator) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	n := 0
+	for n < max && s.pos < len(s.tuples) {
+		buf = append(buf, s.tuples[s.pos]...)
+		s.pos++
+		n++
+	}
+	return buf, n
+}
+
 // Func adapts a function to the Iterator interface.
 type Func func() (database.Tuple, bool)
 
@@ -74,6 +85,57 @@ func (c *Chain) Next() (database.Tuple, bool) {
 	return nil, false
 }
 
+// NextBatch implements BatchIterator by delegating to the member iterators'
+// batched fast paths, spilling into the next member as each one drains. A
+// member is only abandoned once it appends zero answers — the contract's
+// exhaustion signal — so members that legally return short batches keep
+// getting polled.
+func (c *Chain) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	total := 0
+	for c.pos < len(c.its) && total < max {
+		var n int
+		buf, n = NextBatch(c.its[c.pos], buf, max-total)
+		total += n
+		if n == 0 {
+			c.pos++
+		}
+	}
+	return buf, total
+}
+
+// BatchIterator is an Iterator with a batched fast path, letting consumers
+// amortize per-answer overhead (virtual dispatch, channel synchronization
+// in the parallel union) over whole batches.
+type BatchIterator interface {
+	Iterator
+
+	// NextBatch appends the values of up to max answers to buf — flat, one
+	// answer's values after another — and returns the extended buffer and
+	// the number of answers appended. Appending zero answers means the
+	// stream is exhausted.
+	NextBatch(buf []database.Value, max int) ([]database.Value, int)
+}
+
+// NextBatch pulls up to max answers from it into buf, using the iterator's
+// batched fast path when it has one and falling back to Next otherwise. The
+// fallback copies tuple values into buf, so the batch owns its data even
+// when the iterator reuses an internal tuple buffer.
+func NextBatch(it Iterator, buf []database.Value, max int) ([]database.Value, int) {
+	if bi, ok := it.(BatchIterator); ok {
+		return bi.NextBatch(buf, max)
+	}
+	n := 0
+	for n < max {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, t...)
+		n++
+	}
+	return buf, n
+}
+
 // Cheater is the Cheater's Lemma combinator (Lemma 5). It wraps an inner
 // iterator that may produce every result up to m times and stall (delay
 // linearly) a bounded number of times, and turns it into a duplicate-free
@@ -81,10 +143,14 @@ func (c *Chain) Next() (database.Tuple, bool) {
 // results, pulling up to m inner results per emitted answer. With the
 // lemma's preconditions (inner duplication ≤ m, constantly many stalls) the
 // emitted stream has linear preprocessing and constant delay.
+//
+// Deduplication runs over a TupleSet: each inner result costs one hash
+// probe, and fresh results are handed out as stable arena views instead of
+// per-answer clones.
 type Cheater struct {
 	inner Iterator
 	m     int
-	seen  map[string]bool
+	seen  *database.TupleSet
 	queue []database.Tuple
 	head  int
 	// Stats.
@@ -98,7 +164,7 @@ func NewCheater(inner Iterator, m int) *Cheater {
 	if m < 1 {
 		m = 1
 	}
-	return &Cheater{inner: inner, m: m, seen: make(map[string]bool)}
+	return &Cheater{inner: inner, m: m, seen: database.NewTupleSet(0)}
 }
 
 // Next implements Iterator: duplicate-free, order of first occurrence.
@@ -110,17 +176,16 @@ func (c *Cheater) Next() (database.Tuple, bool) {
 			break
 		}
 		c.pulled++
-		k := t.Key()
-		if c.seen[k] {
+		stored, fresh := c.seen.InsertGet(t)
+		if !fresh {
 			c.duplicates++
 			continue
 		}
-		c.seen[k] = true
-		c.queue = append(c.queue, t.Clone())
+		c.queue = append(c.queue, stored)
 	}
 	if c.head < len(c.queue) {
 		t := c.queue[c.head]
-		c.head++
+		c.pop()
 		return t, true
 	}
 	// The queue drained faster than the inner stream produced fresh
@@ -132,15 +197,38 @@ func (c *Cheater) Next() (database.Tuple, bool) {
 			return nil, false
 		}
 		c.pulled++
-		k := t.Key()
-		if c.seen[k] {
+		stored, fresh := c.seen.InsertGet(t)
+		if !fresh {
 			c.duplicates++
 			continue
 		}
-		c.seen[k] = true
-		return t.Clone(), true
+		return stored, true
 	}
 }
+
+// pop consumes the queue head, releasing the slot so the queue retains
+// O(pending) tuple references rather than every answer ever emitted: the
+// consumed slot is nilled immediately, a fully drained queue resets to
+// length zero, and a mostly-consumed one compacts its tail to the front.
+func (c *Cheater) pop() {
+	c.queue[c.head] = nil
+	c.head++
+	switch {
+	case c.head == len(c.queue):
+		c.queue = c.queue[:0]
+		c.head = 0
+	case c.head >= 64 && c.head*2 >= len(c.queue):
+		n := copy(c.queue, c.queue[c.head:])
+		for i := n; i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+}
+
+// Pending returns the number of buffered fresh results not yet emitted.
+func (c *Cheater) Pending() int { return len(c.queue) - c.head }
 
 // Duplicates returns the number of inner results suppressed so far.
 func (c *Cheater) Duplicates() int { return c.duplicates }
@@ -192,6 +280,12 @@ func (a *AlgorithmOne) Next() (database.Tuple, bool) {
 	return a.q2.Next()
 }
 
+// Skipped returns how often the defensive branch fired: Q1 answers that
+// Contains claimed were in Q2(I) while Q2's stream was already exhausted.
+// Under a correct Testable this stays 0; a non-zero value flags a
+// mismatched membership test silently dropping answers.
+func (a *AlgorithmOne) Skipped() int { return a.skipped }
+
 // UnionAll enumerates the union of several iterators with global
 // deduplication via the Cheater's Lemma combinator. The duplication bound
 // is the number of branches: each answer appears at most once per branch.
@@ -202,8 +296,10 @@ func UnionAll(its ...Iterator) Iterator {
 	return NewCheater(NewChain(its...), len(its))
 }
 
-// Collect drains an iterator into a slice (cloning is the iterator's
-// responsibility; Cheater clones, plan adapters produce fresh tuples).
+// Collect drains an iterator into a slice. Ownership follows the iterator:
+// Cheater and ParallelUnion return stable arena views owned by their dedup
+// set — valid indefinitely but not to be mutated — and plan adapters
+// produce fresh tuples.
 func Collect(it Iterator) []database.Tuple {
 	var out []database.Tuple
 	for {

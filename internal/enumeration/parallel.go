@@ -1,0 +1,169 @@
+package enumeration
+
+import (
+	"sync"
+
+	"repro/internal/database"
+)
+
+// DefaultBatchSize is the per-worker batch size used when a caller passes a
+// non-positive size: large enough to amortize channel synchronization, small
+// enough to keep answers flowing early.
+const DefaultBatchSize = 256
+
+// batch carries n answers' values, flat, from a branch worker to the merge.
+type batch struct {
+	vals []database.Value
+	n    int
+}
+
+// ParallelUnion enumerates the union of several branch iterators with
+// global deduplication, draining every branch in its own goroutine. Workers
+// pull answers in batches (through the BatchIterator fast path when the
+// branch has one) and feed a bounded channel; the consuming side merges
+// batches through a shared TupleSet, so synchronization costs are paid per
+// batch while deduplication stays exact. Answer order is nondeterministic
+// across runs, but the answer set equals the sequential union's.
+//
+// Like all iterators in this package, a ParallelUnion is single-use and its
+// Next/Close methods are not safe for concurrent use. Abandoning a
+// partially drained ParallelUnion without calling Close leaks the worker
+// goroutines; draining to exhaustion releases them automatically.
+type ParallelUnion struct {
+	arity int
+	out   chan batch
+	free  chan []database.Value
+	done  chan struct{}
+
+	seen *database.TupleSet
+	cur  batch
+	pos  int
+
+	closed bool
+	// Stats.
+	pulled     int
+	duplicates int
+}
+
+// NewParallelUnion starts one worker per branch iterator. arity is the
+// common answer arity of the branches (zero is allowed: nullary answers are
+// counted, not stored). batchSize ≤ 0 selects DefaultBatchSize.
+func NewParallelUnion(arity, batchSize int, its ...Iterator) *ParallelUnion {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	u := &ParallelUnion{
+		arity: arity,
+		out:   make(chan batch, 2*len(its)),
+		free:  make(chan []database.Value, 2*len(its)+len(its)),
+		done:  make(chan struct{}),
+		seen:  database.NewTupleSet(0),
+	}
+	bufCap := batchSize * arity
+	if bufCap == 0 {
+		bufCap = 1 // non-nil buffers keep the recycle path uniform
+	}
+	var wg sync.WaitGroup
+	for _, it := range its {
+		wg.Add(1)
+		go func(it Iterator) {
+			defer wg.Done()
+			for {
+				var buf []database.Value
+				select {
+				case buf = <-u.free:
+					buf = buf[:0]
+				default:
+					buf = make([]database.Value, 0, bufCap)
+				}
+				buf, n := NextBatch(it, buf, batchSize)
+				if n == 0 {
+					return
+				}
+				select {
+				case u.out <- batch{vals: buf, n: n}:
+				case <-u.done:
+					return
+				}
+			}
+		}(it)
+	}
+	go func() {
+		wg.Wait()
+		close(u.out)
+	}()
+	return u
+}
+
+// Next implements Iterator: duplicate-free, arrival order. Returned tuples
+// are stable arena views owned by the union.
+func (u *ParallelUnion) Next() (database.Tuple, bool) {
+	if u.closed {
+		return nil, false
+	}
+	for {
+		for u.pos < u.cur.n {
+			var t database.Tuple
+			if u.arity > 0 {
+				off := u.pos * u.arity
+				t = database.Tuple(u.cur.vals[off : off+u.arity])
+			} else {
+				t = database.Tuple{}
+			}
+			u.pos++
+			u.pulled++
+			stored, fresh := u.seen.InsertGet(t)
+			if fresh {
+				return stored, true
+			}
+			u.duplicates++
+		}
+		// Batch fully merged into the dedup arena: recycle its buffer.
+		if u.cur.vals != nil {
+			select {
+			case u.free <- u.cur.vals:
+			default:
+			}
+			u.cur = batch{}
+		}
+		b, ok := <-u.out
+		if !ok {
+			u.Close()
+			return nil, false
+		}
+		u.cur = b
+		u.pos = 0
+	}
+}
+
+// Close releases the branch workers. It is idempotent, runs automatically
+// when the stream is drained to exhaustion, and must be called explicitly
+// when abandoning a partially drained union (e.g. after an answer limit).
+// After Close, Next reports exhaustion.
+func (u *ParallelUnion) Close() {
+	if u.closed {
+		return
+	}
+	u.closed = true
+	close(u.done)
+	// Drain buffered batches so the closer goroutine's wg.Wait observes
+	// every worker exit and closes out.
+	go func() {
+		for range u.out { //nolint:revive // draining to unblock workers
+		}
+	}()
+}
+
+// Pulled returns the number of branch results consumed so far.
+func (u *ParallelUnion) Pulled() int { return u.pulled }
+
+// Duplicates returns the number of branch results suppressed so far.
+func (u *ParallelUnion) Duplicates() int { return u.duplicates }
+
+// UnionAllParallel enumerates the union of several iterators of the given
+// answer arity with global deduplication and one worker goroutine per
+// branch; it is the concurrent counterpart of UnionAll. batchSize ≤ 0
+// selects DefaultBatchSize.
+func UnionAllParallel(arity, batchSize int, its ...Iterator) *ParallelUnion {
+	return NewParallelUnion(arity, batchSize, its...)
+}

@@ -1,0 +1,289 @@
+package enumeration
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// TestCheaterReleasesConsumedQueueEntries is the regression test for the
+// queue leak: emitted entries used to stay referenced by the backing array
+// forever (memory O(total answers) instead of O(pending)). After draining,
+// the queue must be fully reset, and mid-stream the consumed prefix must be
+// nilled out.
+func TestCheaterReleasesConsumedQueueEntries(t *testing.T) {
+	tuples := make([]database.Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = tup(int64(i))
+	}
+	// m=4 pulls four inner results per emitted answer, so the queue builds
+	// up a long pending tail before the stream drains.
+	c := NewCheater(NewSliceIterator(tuples), 4)
+	emitted := 0
+	for {
+		_, ok := c.Next()
+		if !ok {
+			break
+		}
+		emitted++
+		for i := 0; i < c.head; i++ {
+			if c.queue[i] != nil {
+				t.Fatalf("consumed slot %d still references its tuple (head=%d)", i, c.head)
+			}
+		}
+		if c.head >= 64 && c.head*2 >= len(c.queue) {
+			t.Fatalf("queue not compacted: head=%d len=%d", c.head, len(c.queue))
+		}
+	}
+	if emitted != len(tuples) {
+		t.Fatalf("emitted %d of %d", emitted, len(tuples))
+	}
+	if c.Pending() != 0 || len(c.queue) != 0 || c.head != 0 {
+		t.Fatalf("drained queue not reset: pending=%d len=%d head=%d", c.Pending(), len(c.queue), c.head)
+	}
+}
+
+// exhaustibleTestable claims membership of everything but yields nothing —
+// the mismatched-Contains condition behind Algorithm 1's defensive branch.
+type exhaustibleTestable struct{ *SliceIterator }
+
+func (e exhaustibleTestable) Contains(database.Tuple) bool { return true }
+
+func TestAlgorithmOneSkippedObservable(t *testing.T) {
+	a := NewAlgorithmOne(
+		NewSliceIterator([]database.Tuple{tup(1), tup(2)}),
+		exhaustibleTestable{NewSliceIterator(nil)},
+	)
+	if got := Collect(a); len(got) != 0 {
+		t.Fatalf("union = %v, want empty", got)
+	}
+	// Both Q1 answers hit the defensive path: Contains said "in Q2" but Q2
+	// had nothing left to pay with. Silent before; observable now.
+	if a.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", a.Skipped())
+	}
+
+	// A well-matched Testable never trips the branch.
+	ok := NewAlgorithmOne(
+		NewSliceIterator([]database.Tuple{tup(1)}),
+		newFakeTestable([]database.Tuple{tup(2)}),
+	)
+	Collect(ok)
+	if ok.Skipped() != 0 {
+		t.Fatalf("Skipped = %d, want 0", ok.Skipped())
+	}
+}
+
+func TestMeasureDelaysEdgeCases(t *testing.T) {
+	empty := MeasureDelays(func() Iterator { return NewSliceIterator(nil) })
+	if empty.Count != 0 {
+		t.Errorf("empty count = %d", empty.Count)
+	}
+	if empty.Preprocessing <= 0 || empty.Total < empty.Preprocessing {
+		t.Errorf("empty timings: %+v", empty)
+	}
+	if empty.MaxDelay != 0 || empty.MeanDelay != 0 || empty.P50 != 0 || empty.P95 != 0 || empty.P99 != 0 {
+		t.Errorf("empty stream has delay stats: %+v", empty)
+	}
+
+	single := MeasureDelays(func() Iterator {
+		return NewSliceIterator([]database.Tuple{tup(42)})
+	})
+	if single.Count != 1 {
+		t.Errorf("single count = %d", single.Count)
+	}
+	// One answer means zero inter-answer gaps: all delay stats stay zero.
+	if single.MaxDelay != 0 || single.MeanDelay != 0 || single.P50 != 0 {
+		t.Errorf("single answer has inter-answer delays: %+v", single)
+	}
+	if single.Preprocessing <= 0 || single.Total < single.Preprocessing {
+		t.Errorf("single timings: %+v", single)
+	}
+}
+
+func TestUnionAllZeroAndOneBranch(t *testing.T) {
+	if got := Collect(UnionAll()); len(got) != 0 {
+		t.Errorf("zero-branch union = %v", got)
+	}
+	got := Collect(UnionAll(NewSliceIterator([]database.Tuple{tup(3), tup(1), tup(3)})))
+	if len(got) != 2 || !got[0].Equal(tup(3)) || !got[1].Equal(tup(1)) {
+		t.Errorf("one-branch union = %v", got)
+	}
+}
+
+func TestNextBatchFallbackAndFastPaths(t *testing.T) {
+	// Func has no fast path: the helper copies tuples out of a reused
+	// buffer, so batches own their data.
+	buf := tup(0)
+	n := int64(0)
+	inner := Func(func() (database.Tuple, bool) {
+		if n >= 5 {
+			return nil, false
+		}
+		n++
+		buf[0] = database.V(n)
+		return buf, true
+	})
+	vals, got := NextBatch(inner, nil, 3)
+	if got != 3 || len(vals) != 3 {
+		t.Fatalf("fallback batch = %v (%d)", vals, got)
+	}
+	if vals[0] != database.V(1) || vals[2] != database.V(3) {
+		t.Fatalf("fallback aliases the iterator buffer: %v", vals)
+	}
+	vals, got = NextBatch(inner, vals[:0], 10)
+	if got != 2 || vals[1] != database.V(5) {
+		t.Fatalf("tail batch = %v (%d)", vals, got)
+	}
+
+	// Chain spills across members in one call.
+	c := NewChain(
+		NewSliceIterator([]database.Tuple{tup(1, 10), tup(2, 20)}),
+		NewSliceIterator(nil),
+		NewSliceIterator([]database.Tuple{tup(3, 30)}),
+	)
+	vals, got = NextBatch(c, nil, 8)
+	if got != 3 || len(vals) != 6 || vals[4] != database.V(3) {
+		t.Fatalf("chain batch = %v (%d)", vals, got)
+	}
+	if _, again := NextBatch(c, nil, 8); again != 0 {
+		t.Fatalf("exhausted chain produced %d answers", again)
+	}
+}
+
+func sortedKeys(ts []database.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestParallelUnionMatchesSequential(t *testing.T) {
+	mk := func() []Iterator {
+		return []Iterator{
+			NewSliceIterator([]database.Tuple{tup(1, 1), tup(2, 2), tup(3, 3)}),
+			NewSliceIterator([]database.Tuple{tup(2, 2), tup(4, 4)}),
+			NewSliceIterator([]database.Tuple{tup(3, 3), tup(4, 4), tup(5, 5)}),
+		}
+	}
+	want := sortedKeys(Collect(UnionAll(mk()...)))
+	for _, batchSize := range []int{0, 1, 2, 1024} {
+		got := sortedKeys(Collect(UnionAllParallel(2, batchSize, mk()...)))
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d answers, want %d", batchSize, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: answer sets differ at %d", batchSize, i)
+			}
+		}
+	}
+}
+
+func TestParallelUnionLargeDisjointAndOverlapping(t *testing.T) {
+	const branches, per = 8, 500
+	var its []Iterator
+	for b := 0; b < branches; b++ {
+		tuples := make([]database.Tuple, per)
+		for i := range tuples {
+			// Half the range overlaps across branches.
+			tuples[i] = tup(int64(b*per/2 + i))
+		}
+		its = append(its, NewSliceIterator(tuples))
+	}
+	u := UnionAllParallel(1, 64, its...)
+	got := Collect(u)
+	// Branch b covers [b*per/2, b*per/2+per): the union is [0, (branches+1)*per/2).
+	want := (branches + 1) * per / 2
+	if len(got) != want {
+		t.Fatalf("answers = %d, want %d", len(got), want)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, g := range got {
+		if seen[g.Key()] {
+			t.Fatalf("duplicate %v", g)
+		}
+		seen[g.Key()] = true
+	}
+	if u.Pulled() != branches*per {
+		t.Errorf("pulled = %d, want %d", u.Pulled(), branches*per)
+	}
+	if u.Duplicates() != branches*per-want {
+		t.Errorf("duplicates = %d, want %d", u.Duplicates(), branches*per-want)
+	}
+}
+
+func TestParallelUnionZeroBranchesAndEmptyBranches(t *testing.T) {
+	if got := Collect(UnionAllParallel(1, 0)); len(got) != 0 {
+		t.Errorf("zero-branch parallel union = %v", got)
+	}
+	got := Collect(UnionAllParallel(1, 0, NewSliceIterator(nil), NewSliceIterator(nil)))
+	if len(got) != 0 {
+		t.Errorf("empty-branch parallel union = %v", got)
+	}
+}
+
+func TestParallelUnionNullaryAnswers(t *testing.T) {
+	got := Collect(UnionAllParallel(0, 0,
+		NewSliceIterator([]database.Tuple{{}, {}}),
+		NewSliceIterator([]database.Tuple{{}}),
+	))
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("nullary union = %v, want one empty tuple", got)
+	}
+}
+
+func TestParallelUnionCloseEarly(t *testing.T) {
+	tuples := make([]database.Tuple, 10000)
+	for i := range tuples {
+		tuples[i] = tup(int64(i))
+	}
+	u := UnionAllParallel(1, 16,
+		NewSliceIterator(tuples),
+		NewSliceIterator(tuples),
+	)
+	for i := 0; i < 5; i++ {
+		if _, ok := u.Next(); !ok {
+			t.Fatalf("exhausted after %d answers", i)
+		}
+	}
+	u.Close()
+	if _, ok := u.Next(); ok {
+		t.Error("Next produced an answer after Close")
+	}
+	u.Close() // idempotent
+}
+
+func TestParallelUnionTuplesAreStable(t *testing.T) {
+	// Returned tuples must stay valid after the union recycles batch
+	// buffers and grows its arena.
+	tuples := make([]database.Tuple, 2000)
+	for i := range tuples {
+		tuples[i] = tup(int64(i), int64(i*7))
+	}
+	u := UnionAllParallel(2, 32, NewSliceIterator(tuples))
+	var got []database.Tuple
+	for {
+		tu, ok := u.Next()
+		if !ok {
+			break
+		}
+		got = append(got, tu)
+	}
+	if len(got) != len(tuples) {
+		t.Fatalf("answers = %d", len(got))
+	}
+	seen := make(map[string]bool, len(got))
+	for _, g := range got {
+		if g[1].Payload() != g[0].Payload()*7 {
+			t.Fatalf("corrupted tuple %v", g)
+		}
+		if seen[g.Key()] {
+			t.Fatalf("duplicate %v", g)
+		}
+		seen[g.Key()] = true
+	}
+}

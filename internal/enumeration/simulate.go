@@ -56,11 +56,8 @@ func SimulateRaw(events []Event) Schedule {
 // empty when an emission is due, so the output schedule has preprocessing
 // n·p + m·d and maximum delay m·d.
 func SimulateCheater(events []Event, n, p, d, m int) Schedule {
-	type queued struct {
-		key string
-	}
-	seen := make(map[string]bool)
-	var queue []queued
+	seen := database.NewTupleSet(0)
+	pending := 0
 	var out Schedule
 
 	preprocessing := n * p
@@ -69,8 +66,8 @@ func SimulateCheater(events []Event, n, p, d, m int) Schedule {
 	nextEmit := preprocessing + interval
 
 	emitDue := func() {
-		for len(queue) > 0 && now >= nextEmit {
-			queue = queue[1:]
+		for pending > 0 && now >= nextEmit {
+			pending--
 			out = append(out, nextEmit)
 			nextEmit += interval
 		}
@@ -82,28 +79,26 @@ func SimulateCheater(events []Event, n, p, d, m int) Schedule {
 		target := now + e.Steps
 		for now < target {
 			step := target - now
-			if len(queue) > 0 && nextEmit-now < step {
+			if pending > 0 && nextEmit-now < step {
 				step = nextEmit - now
 			}
 			now += step
 			emitDue()
 		}
 		if e.Result != nil {
-			k := e.Result.Key()
-			if !seen[k] {
-				seen[k] = true
-				queue = append(queue, queued{key: k})
+			if seen.Insert(e.Result) {
+				pending++
 			}
 			emitDue()
 		}
 	}
 	// Drain the queue: the inner algorithm has terminated; remaining
 	// results are emitted at the regular cadence.
-	for len(queue) > 0 {
+	for pending > 0 {
 		if now < nextEmit {
 			now = nextEmit
 		}
-		queue = queue[1:]
+		pending--
 		out = append(out, now)
 		nextEmit = now + interval
 	}

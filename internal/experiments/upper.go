@@ -82,7 +82,7 @@ func E2UnionTractable(cfg Config) Table {
 	}
 	for _, w := range widths {
 		inst := workload.Chain([]string{"R1", "R2", "R3"}, []int{2, 2, 2}, w, 2, 2)
-		seen := make(map[string]bool)
+		seen := database.NewTupleSet(0)
 		dupFree := true
 		st := enumeration.MeasureDelays(func() enumeration.Iterator {
 			it, err := core.NewAlgorithmOneUnion(u, inst)
@@ -91,12 +91,8 @@ func E2UnionTractable(cfg Config) Table {
 			}
 			return enumeration.Func(func() (database.Tuple, bool) {
 				tup, ok := it.Next()
-				if ok {
-					k := tup.Key()
-					if seen[k] {
-						dupFree = false
-					}
-					seen[k] = true
+				if ok && !seen.Insert(tup) {
+					dupFree = false
 				}
 				return tup, ok
 			})

@@ -133,7 +133,10 @@ func (s *Set) Holds(inst *database.Instance) error {
 			if f.To >= r.Arity() {
 				return fmt.Errorf("fd: %s targets position %d of arity-%d relation", f, f.To, r.Arity())
 			}
-			seen := make(map[string]database.Value, r.Len())
+			// Determinants are interned in a TupleSet; targets[e] records the
+			// target value first seen for determinant entry e.
+			seen := database.NewTupleSet(r.Len())
+			targets := make([]database.Value, 0, r.Len())
 			key := make(database.Tuple, len(f.From))
 			for i := 0; i < r.Len(); i++ {
 				row := r.Row(i)
@@ -143,14 +146,12 @@ func (s *Set) Holds(inst *database.Instance) error {
 					}
 					key[j] = row[c]
 				}
-				k := key.Key()
-				if prev, ok := seen[k]; ok {
-					if prev != row[f.To] {
-						return fmt.Errorf("fd: %s violated by rows agreeing on the determinant with targets %v and %v",
-							f, prev, row[f.To])
-					}
-				} else {
-					seen[k] = row[f.To]
+				e, fresh := seen.Add(key)
+				if fresh {
+					targets = append(targets, row[f.To])
+				} else if targets[e] != row[f.To] {
+					return fmt.Errorf("fd: %s violated by rows agreeing on the determinant with targets %v and %v",
+						f, targets[e], row[f.To])
 				}
 			}
 		}

@@ -137,11 +137,20 @@ func (it *Iterator) STuple() database.Tuple {
 // All head variables must be in S (the usual case S = free(Q)) unless
 // Extend was called first.
 func (it *Iterator) HeadTuple() database.Tuple {
-	out := make(database.Tuple, len(it.plan.Q.Head))
-	for i, v := range it.plan.Q.Head {
-		out[i] = it.assign[it.plan.varID[v]]
+	out := make(database.Tuple, len(it.plan.headIDs))
+	for i, id := range it.plan.headIDs {
+		out[i] = it.assign[id]
 	}
 	return out
+}
+
+// AppendHead appends the current head tuple's values to buf without
+// allocating; it is the batched-enumeration counterpart of HeadTuple.
+func (it *Iterator) AppendHead(buf []database.Value) []database.Value {
+	for _, id := range it.plan.headIDs {
+		buf = append(buf, it.assign[id])
+	}
+	return buf
 }
 
 // Extend completes the current S-assignment to a full homomorphism by

@@ -47,6 +47,9 @@ type Plan struct {
 
 	varID   map[cq.Variable]int
 	varName []cq.Variable
+	// headIDs caches the variable ids of the query head in head order, for
+	// allocation-free head projection on the enumeration hot path.
+	headIDs []int
 
 	log  []logEntry
 	tops []topNode
@@ -128,6 +131,10 @@ func Prepare(q *cq.CQ, inst *database.Instance, s cq.VarSet) (*Plan, error) {
 		p.varName = append(p.varName, v)
 	}
 	p.SVars = s.Sorted()
+	p.headIDs = make([]int, len(q.Head))
+	for i, v := range q.Head {
+		p.headIDs[i] = p.varID[v]
+	}
 
 	// Bind atoms to working relations.
 	nodes := make([]*elimNode, len(q.Atoms))

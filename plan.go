@@ -43,6 +43,17 @@ type PlanOptions struct {
 	// KeepRedundant skips the containment-based reduction (Example 1);
 	// redundant CQs never change the answer set, only the plan.
 	KeepRedundant bool
+	// Parallel drains the union's branches concurrently: in constant-delay
+	// mode each certified CQ runs in its own goroutine feeding a shared
+	// dedup merge, and in naive mode the member CQs are joined in parallel.
+	// The answer set is identical to sequential evaluation; the answer
+	// order is nondeterministic in constant-delay mode. Iterators from a
+	// parallel plan must be drained to exhaustion or Closed (see
+	// CloseAnswers) to release their workers.
+	Parallel bool
+	// ParallelBatch sets how many answers each branch worker hands to the
+	// merge per synchronization; ≤ 0 selects a sensible default.
+	ParallelBatch int
 }
 
 // Plan is a prepared evaluation of one UCQ over one instance.
@@ -57,8 +68,10 @@ type Plan struct {
 	// Cert is the free-connexity certificate (ConstantDelay mode only).
 	Cert *Certificate
 
-	union *core.UnionPlan
-	inst  *database.Instance
+	union    *core.UnionPlan
+	inst     *database.Instance
+	parallel bool
+	batch    int
 }
 
 // NewPlan prepares the evaluation of u over inst: it removes redundant
@@ -76,7 +89,7 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 	if !opts.KeepRedundant {
 		work = homomorphism.RemoveRedundant(u)
 	}
-	p := &Plan{Query: u, Evaluated: work, inst: inst}
+	p := &Plan{Query: u, Evaluated: work, inst: inst, parallel: opts.Parallel, batch: opts.ParallelBatch}
 	if !opts.ForceNaive {
 		if cert, ok := core.FindCertificate(work, opts.Search); ok {
 			up, err := core.NewUnionPlan(work, cert, inst)
@@ -107,16 +120,34 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 }
 
 // Iterator returns a fresh duplicate-free stream of the union's answers.
+// With PlanOptions.Parallel set, the stream is backed by worker goroutines;
+// drain it fully or release it with CloseAnswers.
 func (p *Plan) Iterator() Answers {
 	if p.Mode == ConstantDelay {
+		if p.parallel {
+			return p.union.IteratorParallel(p.batch)
+		}
 		return p.union.Iterator()
 	}
-	rel, err := baseline.EvalUCQ(p.Evaluated, p.inst)
+	eval := baseline.EvalUCQ
+	if p.parallel {
+		eval = baseline.EvalUCQParallel
+	}
+	rel, err := eval(p.Evaluated, p.inst)
 	if err != nil {
 		// NewPlan validated the schema; reaching this is a bug.
 		panic(fmt.Sprintf("ucq: naive evaluation failed after validation: %v", err))
 	}
 	return enumeration.NewSliceIterator(rel.Rows())
+}
+
+// CloseAnswers releases the worker goroutines behind a partially drained
+// answer stream from a parallel plan. It is safe to call on any Answers
+// value: streams without background workers are left untouched.
+func CloseAnswers(it Answers) {
+	if c, ok := it.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Materialize drains a fresh iterator into a relation.
