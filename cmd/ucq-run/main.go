@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel]
+//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel] [-shards N]
 //
 // CSV rows are comma/space/semicolon-separated integers; '#' starts a
 // comment line.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 	countOnly := flag.Bool("count", false, "print only the answer count")
 	parallel := flag.Bool("parallel", false, "drain union branches concurrently (answer order nondeterministic)")
 	batch := flag.Int("batch", 0, "parallel batch size per worker (0 = default)")
+	shards := flag.Int("shards", 0, "hash-partition each branch across N shards (requires -parallel; 0 = off)")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -76,9 +78,16 @@ func main() {
 		ForceNaive:    *mode == "naive",
 		Parallel:      *parallel,
 		ParallelBatch: *batch,
+		Shards:        *shards,
 	}
 	plan, err := ucq.NewPlan(u, inst, opts)
 	if err != nil {
+		var oe *ucq.OptionsError
+		if errors.As(err, &oe) {
+			fmt.Fprintln(os.Stderr, "ucq-run: invalid flag combination:", oe.Reason)
+			flag.Usage()
+			os.Exit(2)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation\n", plan.Mode)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/database"
+	"repro/internal/shard"
 )
 
 // EvalCQ computes the answer relation of q over inst (head projections of
@@ -90,6 +91,55 @@ func EvalUCQParallel(u *cq.UCQ, inst *database.Instance) (*database.Relation, er
 			defer wg.Done()
 			rels[i], errs[i] = EvalCQ(q, inst)
 		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeUnion(u, rels), nil
+}
+
+// EvalUCQShardedParallel computes the same answer set as EvalUCQ,
+// hash-partitioning each member CQ's input across n shards on a safe
+// join-key attribute chosen from the CQ's join structure and evaluating
+// every (CQ, shard) pair in its own goroutine. CQs with no safe attribute
+// (e.g. self-joins with conflicting columns) fall back to one unsharded
+// evaluation. The merged relation is deduplicated positionally; its row
+// order is deterministic for a given n but differs from EvalUCQ's.
+func EvalUCQShardedParallel(u *cq.UCQ, inst *database.Instance, n int) (*database.Relation, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: shard count %d < 1", n)
+	}
+	// One evaluation unit per (CQ, shard), or per CQ on fallback.
+	type unit struct {
+		q    *cq.CQ
+		inst *database.Instance
+	}
+	var units []unit
+	for _, q := range u.CQs {
+		sh, _, ok := shard.ChooseAndPartition(q, inst, n)
+		if !ok {
+			units = append(units, unit{q, inst})
+			continue
+		}
+		for _, s := range sh.Shards {
+			units = append(units, unit{q, s.Inst})
+		}
+	}
+	rels := make([]*database.Relation, len(units))
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	for i, un := range units {
+		wg.Add(1)
+		go func(i int, un unit) {
+			defer wg.Done()
+			rels[i], errs[i] = EvalCQ(un.q, un.inst)
+		}(i, un)
 	}
 	wg.Wait()
 	for _, err := range errs {

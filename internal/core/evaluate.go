@@ -37,6 +37,19 @@ type UnionPlan struct {
 	resolved map[*ExtendedCQ]*database.Instance
 	inst     *database.Instance
 	stats    UnionStats
+
+	// estimate caches the summed branch cardinality (-1 until computed),
+	// used to pre-size the parallel merge's dedup set.
+	estimate int64
+
+	// Sharded enumeration state, built by PrepareShards: per extension,
+	// one CDY plan per shard (nil when the extension has no safe partition
+	// attribute and stays unsharded).
+	shardN        int
+	shardPlans    [][]*yannakakis.Plan
+	shardVars     []cq.Variable
+	shardDisjoint bool
+	shardEstimate int64
 }
 
 // UnionStats reports preprocessing counters of a union plan.
@@ -63,6 +76,7 @@ func NewUnionPlan(u *cq.UCQ, cert *Certificate, inst *database.Instance) (*Union
 		Cert:     cert,
 		resolved: make(map[*ExtendedCQ]*database.Instance),
 		inst:     inst,
+		estimate: -1,
 	}
 	for _, e := range cert.Extensions {
 		extInst, err := p.resolve(e)
@@ -201,7 +215,30 @@ func (p *UnionPlan) Iterator() enumeration.Iterator {
 // The returned union must be drained to exhaustion or Closed; see
 // enumeration.ParallelUnion.
 func (p *UnionPlan) IteratorParallel(batchSize int) *enumeration.ParallelUnion {
-	return enumeration.UnionAllParallel(p.U.Arity(), batchSize, p.branches()...)
+	return enumeration.NewParallelUnionOpts(p.U.Arity(), enumeration.UnionOptions{
+		BatchSize: batchSize,
+		SizeHint:  p.sizeHint(),
+	}, p.branches()...)
+}
+
+// sizeHint lazily computes and caches the union's summed branch cardinality
+// — the bonus answers plus each member plan's exact output count — so the
+// merge's dedup set is allocated at its final size up front and the hot
+// path never pays a growth rehash. Cross-branch duplicates make this an
+// upper bound on the distinct answer count, which is the right direction
+// for a sizing hint.
+func (p *UnionPlan) sizeHint() int {
+	if p.estimate < 0 {
+		est := int64(len(p.bonus))
+		for _, pl := range p.plans {
+			est += pl.CountAnswers()
+		}
+		p.estimate = est
+	}
+	if p.estimate > enumeration.MaxSizeHint {
+		return enumeration.MaxSizeHint
+	}
+	return int(p.estimate)
 }
 
 // branches builds the union's member streams: the bonus answers recorded

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/workload"
+)
+
+// TestIteratorParallelShardedMatchesSequential runs the sharded iterator
+// against the sequential pipeline on the paper's union examples over random
+// instances, across shard counts: identical answer sets, no duplicates.
+func TestIteratorParallelShardedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range []string{example2, example13} {
+		u := cq.MustParse(src)
+		cert, ok := FindCertificate(u, nil)
+		if !ok {
+			t.Fatalf("no certificate for\n%s", u)
+		}
+		for trial := 0; trial < 3; trial++ {
+			inst := randomInstance(u, rng, 60, 8)
+			plan, err := NewUnionPlan(u, cert, inst)
+			if err != nil {
+				t.Fatalf("NewUnionPlan: %v", err)
+			}
+			want := sortedTuples(plan.Iterator())
+			for _, n := range []int{1, 2, 8} {
+				if err := plan.PrepareShards(n); err != nil {
+					t.Fatalf("PrepareShards(%d): %v", n, err)
+				}
+				it, err := plan.IteratorParallelSharded(0)
+				if err != nil {
+					t.Fatalf("IteratorParallelSharded: %v", err)
+				}
+				got := sortedTuples(it)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d shards %d: %d answers, want %d", trial, n, len(got), len(want))
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("trial %d shards %d: answer %d = %v, want %v", trial, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDisjointSingleBranch: a single free-connex CQ partitioned on a
+// head variable must be recognised as disjoint (dedup-free merge) and still
+// produce the exact answer set.
+func TestShardedDisjointSingleBranch(t *testing.T) {
+	u := cq.MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	cert, ok := FindCertificate(u, nil)
+	if !ok {
+		t.Fatal("no certificate")
+	}
+	inst := workload.SkewedJoin(800, 12, 23, 30, 4, 7)
+	plan, err := NewUnionPlan(u, cert, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedTuples(plan.Iterator())
+	if len(want) != 800*12+23*30*4 {
+		t.Fatalf("unexpected sequential answer count %d", len(want))
+	}
+	for _, n := range []int{1, 2, 8} {
+		if err := plan.PrepareShards(n); err != nil {
+			t.Fatalf("PrepareShards(%d): %v", n, err)
+		}
+		if !plan.ShardedDisjoint() {
+			t.Fatalf("shards=%d: single head-partitioned branch not marked disjoint\n%s", n, plan.ExplainShards())
+		}
+		it, err := plan.IteratorParallelSharded(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sortedTuples(it)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d answers, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("shards=%d: answer %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+		if it.Duplicates() != 0 {
+			t.Fatalf("shards=%d: disjoint merge suppressed %d duplicates", n, it.Duplicates())
+		}
+	}
+}
+
+// TestShardedFallbackSelfJoin: a free-connex self-join whose variables all
+// sit at conflicting columns has no safe partition attribute; the sharded
+// iterator must fall back to the unsharded branch and stay correct. The
+// instance is skewed so the fallback is exercised exactly where sharding
+// would have been most tempting.
+func TestShardedFallbackSelfJoin(t *testing.T) {
+	u := cq.MustParse("Q(x,y,z) <- R(x,y), R(y,z).")
+	cert, ok := FindCertificate(u, nil)
+	if !ok {
+		t.Fatal("no certificate for the full self-join")
+	}
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	// Skew: vertex 0 has a huge out- and in-neighborhood.
+	for i := int64(1); i <= 400; i++ {
+		r.AppendInts(0, i)
+		r.AppendInts(i, 0)
+	}
+	for i := int64(401); i < 480; i++ {
+		r.AppendInts(i, i+1)
+	}
+	inst.AddRelation(r)
+	plan, err := NewUnionPlan(u, cert, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedTuples(plan.Iterator())
+	if err := plan.PrepareShards(8); err != nil {
+		t.Fatal(err)
+	}
+	if plan.shardPlans[0] != nil {
+		t.Fatalf("self-join was sharded despite conflicting columns\n%s", plan.ExplainShards())
+	}
+	it, err := plan.IteratorParallelSharded(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedTuples(it)
+	if len(got) != len(want) {
+		t.Fatalf("fallback: %d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("fallback: answer %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIteratorParallelShardedRequiresPrepare: calling the sharded iterator
+// without PrepareShards is a usage error, not a silent sequential run.
+func TestIteratorParallelShardedRequiresPrepare(t *testing.T) {
+	u := cq.MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	cert, ok := FindCertificate(u, nil)
+	if !ok {
+		t.Fatal("no certificate")
+	}
+	inst := workload.Chain([]string{"R1", "R2"}, []int{2, 2}, 10, 1, 3)
+	plan, err := NewUnionPlan(u, cert, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.IteratorParallelSharded(0); err == nil {
+		t.Fatal("IteratorParallelSharded before PrepareShards succeeded")
+	}
+}
+
+// TestSizeHintMatchesCardinality: the lazily cached estimate equals the
+// exact enumerated count for a duplicate-free union.
+func TestSizeHintMatchesCardinality(t *testing.T) {
+	u := cq.MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	cert, ok := FindCertificate(u, nil)
+	if !ok {
+		t.Fatal("no certificate")
+	}
+	inst := workload.Chain([]string{"R1", "R2"}, []int{2, 2}, 100, 3, 11)
+	plan, err := NewUnionPlan(u, cert, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(sortedTuples(plan.Iterator()))
+	if got := plan.sizeHint(); got != want {
+		t.Fatalf("sizeHint = %d, enumeration yields %d", got, want)
+	}
+}

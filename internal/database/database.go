@@ -335,6 +335,19 @@ func (ix *Index) Contains(key []Value) bool {
 	return ix.keys.Contains(key)
 }
 
+// NumKeys returns the number of distinct keys in the index.
+func (ix *Index) NumKeys() int { return ix.keys.Len() }
+
+// EntryOf returns the dense entry number of key (the e with
+// RowsAt(e) == Lookup(key)), or -1 when no row matches. Entry numbers are
+// stable for the lifetime of the index and span [0, NumKeys()).
+func (ix *Index) EntryOf(key []Value) int {
+	return ix.keys.IndexOf(key)
+}
+
+// RowsAt returns the row numbers of entry e.
+func (ix *Index) RowsAt(e int) []int32 { return ix.rows[e] }
+
 // Cols returns the indexed columns.
 func (ix *Index) Cols() []int { return ix.cols }
 

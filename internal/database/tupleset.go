@@ -52,14 +52,31 @@ type TupleSet struct {
 
 // NewTupleSet creates an empty set sized for about sizeHint entries.
 func NewTupleSet(sizeHint int) *TupleSet {
+	return NewTupleSetSized(sizeHint, 0)
+}
+
+// NewTupleSetSized creates an empty set sized for about sizeHint entries
+// holding valueHint values in total (sizeHint × arity for fixed-arity
+// callers). With both hints right, inserting the whole set allocates
+// nothing beyond the initial slices: slot table, hash list and arena are
+// all at final size up front.
+func NewTupleSetSized(sizeHint, valueHint int) *TupleSet {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	if valueHint < 0 {
+		valueHint = 0
+	}
 	n := 8
 	for n*3/4 < sizeHint {
 		n <<= 1
 	}
 	s := &TupleSet{
-		offs:  make([]int32, 1, sizeHint+1),
-		slots: make([]int32, n),
-		mask:  uint64(n - 1),
+		arena:  make([]Value, 0, valueHint),
+		offs:   make([]int32, 1, sizeHint+1),
+		hashes: make([]uint64, 0, sizeHint),
+		slots:  make([]int32, n),
+		mask:   uint64(n - 1),
 	}
 	for i := range s.slots {
 		s.slots[i] = -1

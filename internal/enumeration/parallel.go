@@ -17,6 +17,33 @@ type batch struct {
 	n    int
 }
 
+// MaxSizeHint caps the dedup pre-sizing a UnionOptions.SizeHint may ask
+// for, bounding the up-front slot-table allocation (a hint is advisory; the
+// set still grows past it on demand). Kept modest so a limited or
+// early-abandoned drain of a plan with a huge estimate does not pay a
+// final-size allocation for answers it never pulls.
+const MaxSizeHint = 1 << 22
+
+// maxPreallocValues bounds the arena/hash preallocation (in values) the
+// same way.
+const maxPreallocValues = 1 << 22
+
+// UnionOptions tunes a ParallelUnion merge.
+type UnionOptions struct {
+	// BatchSize is the per-worker batch size; ≤ 0 selects DefaultBatchSize.
+	BatchSize int
+	// SizeHint pre-sizes the dedup set to the expected number of distinct
+	// answers, so the hot merge path never pays a growth rehash. ≤ 0 means
+	// unknown; hints above MaxSizeHint are clamped.
+	SizeHint int
+	// Disjoint promises that the branches are pairwise disjoint and
+	// individually duplicate-free (e.g. shards of a single CQ partitioned
+	// on a head variable). The merge then skips deduplication entirely:
+	// answers pass straight from the branch batches to the consumer, and
+	// returned tuples are stable views into the batch buffers.
+	Disjoint bool
+}
+
 // ParallelUnion enumerates the union of several branch iterators with
 // global deduplication, draining every branch in its own goroutine. Workers
 // pull answers in batches (through the BatchIterator fast path when the
@@ -25,15 +52,20 @@ type batch struct {
 // batch while deduplication stays exact. Answer order is nondeterministic
 // across runs, but the answer set equals the sequential union's.
 //
+// With UnionOptions.Disjoint the dedup layer is bypassed: each branch
+// answer is emitted exactly once, which is correct precisely when the
+// branches are pairwise disjoint and duplicate-free.
+//
 // Like all iterators in this package, a ParallelUnion is single-use and its
 // Next/Close methods are not safe for concurrent use. Abandoning a
 // partially drained ParallelUnion without calling Close leaks the worker
 // goroutines; draining to exhaustion releases them automatically.
 type ParallelUnion struct {
-	arity int
-	out   chan batch
-	free  chan []database.Value
-	done  chan struct{}
+	arity    int
+	disjoint bool
+	out      chan batch
+	free     chan []database.Value
+	done     chan struct{}
 
 	seen *database.TupleSet
 	cur  batch
@@ -49,15 +81,36 @@ type ParallelUnion struct {
 // common answer arity of the branches (zero is allowed: nullary answers are
 // counted, not stored). batchSize ≤ 0 selects DefaultBatchSize.
 func NewParallelUnion(arity, batchSize int, its ...Iterator) *ParallelUnion {
+	return NewParallelUnionOpts(arity, UnionOptions{BatchSize: batchSize}, its...)
+}
+
+// NewParallelUnionOpts starts one worker per branch iterator with explicit
+// merge options.
+func NewParallelUnionOpts(arity int, opts UnionOptions, its ...Iterator) *ParallelUnion {
+	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
 	u := &ParallelUnion{
-		arity: arity,
-		out:   make(chan batch, 2*len(its)),
-		free:  make(chan []database.Value, 2*len(its)+len(its)),
-		done:  make(chan struct{}),
-		seen:  database.NewTupleSet(0),
+		arity:    arity,
+		disjoint: opts.Disjoint,
+		out:      make(chan batch, 2*len(its)),
+		free:     make(chan []database.Value, 2*len(its)+len(its)),
+		done:     make(chan struct{}),
+	}
+	if !opts.Disjoint {
+		hint := opts.SizeHint
+		if hint < 0 {
+			hint = 0
+		}
+		if hint > MaxSizeHint {
+			hint = MaxSizeHint
+		}
+		valueHint := hint * arity
+		if valueHint > maxPreallocValues {
+			valueHint = maxPreallocValues
+		}
+		u.seen = database.NewTupleSetSized(hint, valueHint)
 	}
 	bufCap := batchSize * arity
 	if bufCap == 0 {
@@ -96,7 +149,8 @@ func NewParallelUnion(arity, batchSize int, its ...Iterator) *ParallelUnion {
 }
 
 // Next implements Iterator: duplicate-free, arrival order. Returned tuples
-// are stable arena views owned by the union.
+// are stable views owned by the union: arena entries of the dedup set, or,
+// in disjoint mode, slices of the (never recycled) batch buffers.
 func (u *ParallelUnion) Next() (database.Tuple, bool) {
 	if u.closed {
 		return nil, false
@@ -112,17 +166,24 @@ func (u *ParallelUnion) Next() (database.Tuple, bool) {
 			}
 			u.pos++
 			u.pulled++
+			if u.disjoint {
+				return t, true
+			}
 			stored, fresh := u.seen.InsertGet(t)
 			if fresh {
 				return stored, true
 			}
 			u.duplicates++
 		}
-		// Batch fully merged into the dedup arena: recycle its buffer.
+		// Batch fully merged into the dedup arena: recycle its buffer. In
+		// disjoint mode emitted tuples are views into the buffer, so it must
+		// stay untouched; workers then always allocate fresh buffers.
 		if u.cur.vals != nil {
-			select {
-			case u.free <- u.cur.vals:
-			default:
+			if !u.disjoint {
+				select {
+				case u.free <- u.cur.vals:
+				default:
+				}
 			}
 			u.cur = batch{}
 		}

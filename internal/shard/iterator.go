@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"repro/internal/database"
+	"repro/internal/enumeration"
+)
+
+// ShardedIterator fans one logical union branch out across per-shard
+// enumeration iterators. Its shard streams are meant to be spliced straight
+// into an enclosing enumeration.ParallelUnion merge via Branches — the
+// merge already accepts arbitrary branch iterators — but the type is also a
+// self-contained enumeration.Iterator: Next lazily starts its own parallel
+// merge over the shards, deduplicating unless the sharding is disjoint.
+//
+// Like all iterators in this package's ecosystem, a ShardedIterator is
+// single-use; abandon it with Close when not drained to exhaustion.
+type ShardedIterator struct {
+	arity    int
+	disjoint bool
+	estimate int
+	branches []enumeration.Iterator
+	merged   *enumeration.ParallelUnion
+	spliced  bool
+}
+
+// NewShardedIterator wraps one iterator per shard. disjoint asserts that
+// the shard streams are pairwise disjoint and duplicate-free (partitioning
+// on a head variable); estimate is the expected total answer count, used to
+// pre-size the dedup set (≤ 0 when unknown).
+func NewShardedIterator(arity int, disjoint bool, estimate int, branches ...enumeration.Iterator) *ShardedIterator {
+	return &ShardedIterator{arity: arity, disjoint: disjoint, estimate: estimate, branches: branches}
+}
+
+// Branches hands the per-shard iterators to an enclosing merge. After
+// Branches the ShardedIterator must not be iterated itself: the shard
+// streams are single-use.
+func (s *ShardedIterator) Branches() []enumeration.Iterator {
+	s.spliced = true
+	return s.branches
+}
+
+// Disjoint reports whether the shard streams are pairwise disjoint.
+func (s *ShardedIterator) Disjoint() bool { return s.disjoint }
+
+// Estimate returns the expected total answer count (≤ 0 when unknown).
+func (s *ShardedIterator) Estimate() int { return s.estimate }
+
+// Next implements enumeration.Iterator over the union of the shards.
+func (s *ShardedIterator) Next() (database.Tuple, bool) {
+	if s.merged == nil {
+		if s.spliced {
+			panic("shard: ShardedIterator iterated after Branches was taken")
+		}
+		s.merged = enumeration.NewParallelUnionOpts(s.arity, enumeration.UnionOptions{
+			SizeHint: s.estimate,
+			Disjoint: s.disjoint,
+		}, s.branches...)
+	}
+	return s.merged.Next()
+}
+
+// Close releases the shard workers of a partially drained iterator. It is
+// safe to call at any point, including before the first Next.
+func (s *ShardedIterator) Close() {
+	if s.merged != nil {
+		s.merged.Close()
+	}
+}

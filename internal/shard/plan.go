@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+)
+
+// Candidate is one safe partition attribute of a CQ: a variable v together
+// with the per-relation column map realising it. Safety means every atom of
+// a partitioned relation carries v at the partitioned column, so the
+// shard-union of the CQ's answers equals the unsharded answer set (see the
+// package comment).
+type Candidate struct {
+	// Var is the partition variable.
+	Var cq.Variable
+	// Key maps each partitioned relation to the column holding Var.
+	Key Key
+	// Head reports whether Var is a head variable of the query; if so the
+	// per-shard answer sets are pairwise disjoint and the merge may skip
+	// deduplication.
+	Head bool
+	// Atoms counts the atoms covered (partitioned rather than replicated).
+	Atoms int
+	// Rows is the total row count of the partitioned relations — the input
+	// volume the sharding actually splits.
+	Rows int
+}
+
+// Candidates enumerates the safe partition attributes of q over inst, best
+// first: head variables (disjoint shard outputs) before existential ones,
+// then by atoms covered, then by partitioned input volume. It returns nil
+// when the query has no safe attribute — e.g. a self-join placing the
+// variable at different columns — in which case the planner falls back to
+// unsharded evaluation.
+func Candidates(q *cq.CQ, inst *database.Instance) []Candidate {
+	byRel := make(map[string][]cq.Atom)
+	for _, a := range q.Atoms {
+		byRel[a.Rel] = append(byRel[a.Rel], a)
+	}
+	free := q.Free()
+	var out []Candidate
+	for _, v := range q.Vars().Sorted() {
+		key := Key{}
+		atoms := 0
+		safe := true
+		for rel, as := range byRel {
+			with := 0
+			for _, a := range as {
+				if a.HasVar(v) {
+					with++
+				}
+			}
+			if with == 0 {
+				continue // replicated
+			}
+			if with < len(as) {
+				safe = false // some atom of rel needs the full relation
+				break
+			}
+			// A column carrying v in every atom of rel.
+			col := -1
+			for c := range as[0].Vars {
+				common := true
+				for _, a := range as {
+					if a.Vars[c] != v {
+						common = false
+						break
+					}
+				}
+				if common {
+					col = c
+					break
+				}
+			}
+			if col < 0 {
+				safe = false // v sits at conflicting columns across atoms
+				break
+			}
+			key[rel] = col
+			atoms += with
+		}
+		if !safe || len(key) == 0 {
+			continue
+		}
+		rows := 0
+		for rel := range key {
+			if r := inst.Relation(rel); r != nil {
+				rows += r.Len()
+			}
+		}
+		out = append(out, Candidate{Var: v, Key: key, Head: free.Contains(v), Atoms: atoms, Rows: rows})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Head != b.Head {
+			return a.Head
+		}
+		if a.Atoms != b.Atoms {
+			return a.Atoms > b.Atoms
+		}
+		if a.Rows != b.Rows {
+			return a.Rows > b.Rows
+		}
+		return a.Var < b.Var
+	})
+	return out
+}
+
+// maxCandidateTries bounds how many candidate attributes ChooseAndPartition
+// will materialise while hunting for a balanced split.
+const maxCandidateTries = 4
+
+// skewLimit is the largest acceptable MaxShare for an n-way sharding: three
+// times the perfectly balanced share, so small shard counts accept almost
+// anything and large ones reject attributes dominated by one hash bucket.
+func skewLimit(n int) float64 {
+	return 3.0 / float64(n)
+}
+
+// ChooseAndPartition picks a partition attribute for q and materialises the
+// sharding, preferring disjoint (head-variable) candidates and screening
+// each candidate's balance with a count-only pass before committing — a
+// skewed join key would concentrate the fan-out on one shard. When every
+// candidate routes too unevenly, a head candidate is still accepted (its
+// disjoint shard streams let the merge skip deduplication, which pays for
+// itself regardless of balance) but a lone existential one is not: a skewed
+// sharding with dedup still on is pure overhead, so the planner reports
+// false and the caller evaluates unsharded. False is also reported when q
+// has no safe attribute at all.
+func ChooseAndPartition(q *cq.CQ, inst *database.Instance, n int) (*Sharding, Candidate, bool) {
+	cands := Candidates(q, inst)
+	if len(cands) == 0 || n < 1 {
+		return nil, Candidate{}, false
+	}
+	limit := skewLimit(n)
+	bestHead := Candidate{}
+	bestShare := 2.0
+	haveHead := false
+	for i, cand := range cands {
+		if i >= maxCandidateTries {
+			break
+		}
+		counts, err := PartitionCounts(inst, cand.Key, n)
+		if err != nil {
+			continue
+		}
+		share := maxShare(counts)
+		if n == 1 || share <= limit {
+			s, err := Partition(inst, cand.Key, n)
+			if err != nil {
+				continue
+			}
+			return s, cand, true
+		}
+		if cand.Head && share < bestShare {
+			bestHead, bestShare, haveHead = cand, share, true
+		}
+	}
+	if !haveHead {
+		return nil, Candidate{}, false
+	}
+	s, err := Partition(inst, bestHead.Key, n)
+	if err != nil {
+		return nil, Candidate{}, false
+	}
+	return s, bestHead, true
+}
+
+// maxShare returns the largest fraction a single count holds of the total
+// (0 when the total is 0).
+func maxShare(counts []int) float64 {
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}

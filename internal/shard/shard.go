@@ -1,0 +1,207 @@
+// Package shard hash-partitions database instances so that a single heavy
+// enumeration branch can fan out across shards. A partitioning is described
+// by a Key — the column of each partitioned relation that carries the join
+// attribute — and produces N shard instances: partitioned relations keep
+// only the rows whose key value hashes to the shard, while every other
+// relation is shared by reference (query engines in this repository never
+// mutate input relations).
+//
+// The semantic contract, used by the shard-aware planner in internal/core:
+// if every atom of a CQ either carries the partition variable at the
+// partitioned column of its relation or refers to a replicated relation,
+// then the CQ's answer set over the original instance equals the union of
+// its answer sets over the shards — each homomorphism h lands, whole, in
+// the shard that h(v) hashes to. When v is additionally a head variable the
+// per-shard answer sets are pairwise disjoint, and the union merge can skip
+// deduplication entirely.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/database"
+)
+
+// Key names the partitioning column of each partitioned relation. Relations
+// absent from the map are replicated (shared by reference) to every shard.
+type Key map[string]int
+
+// Shard is one hash partition of an instance.
+type Shard struct {
+	// Inst is the shard-local instance: partitioned relations hold only the
+	// rows routed here; all other relations are shared with the original.
+	Inst *database.Instance
+	// Rows counts the partitioned rows routed to this shard.
+	Rows int
+	// Keys interns the distinct partition-key values routed here — a
+	// shard-local index over the join-key domain, used for cardinality and
+	// balance statistics. It is nil for the trivial sharding (N == 1).
+	Keys *database.TupleSet
+}
+
+// Sharding is a hash partitioning of one instance on one join-key attribute.
+type Sharding struct {
+	// N is the shard count.
+	N int
+	// Key is the partitioning attribute, per relation.
+	Key Key
+	// Shards lists the shard instances, in routing order.
+	Shards []*Shard
+
+	totalRows int
+}
+
+// validateKey checks the shard count and that every keyed relation exists
+// with the column in range.
+func validateKey(inst *database.Instance, key Key, n int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("shard: empty partition key")
+	}
+	for name, col := range key {
+		r := inst.Relation(name)
+		if r == nil {
+			return fmt.Errorf("shard: no relation %q in the instance", name)
+		}
+		if col < 0 || col >= r.Arity() {
+			return fmt.Errorf("shard: column %d out of range for %s/%d", col, name, r.Arity())
+		}
+	}
+	return nil
+}
+
+// PartitionCounts computes the per-shard partitioned-row counts of a
+// prospective sharding without materialising it — one hash per row, no row
+// copies — so the planner can screen candidate attributes for balance
+// cheaply before committing to one.
+func PartitionCounts(inst *database.Instance, key Key, n int) ([]int, error) {
+	if err := validateKey(inst, key, n); err != nil {
+		return nil, err
+	}
+	counts := make([]int, n)
+	keyTuple := make(database.Tuple, 1)
+	for name, col := range key {
+		r := inst.Relation(name)
+		for i := 0; i < r.Len(); i++ {
+			keyTuple[0] = r.Row(i)[col]
+			counts[keyTuple.Hash()%uint64(n)]++
+		}
+	}
+	return counts, nil
+}
+
+// Partition hash-partitions inst into n shards on the given key. Every
+// relation named by the key must exist with the column in range. n == 1
+// returns a single shard sharing all relations with inst.
+func Partition(inst *database.Instance, key Key, n int) (*Sharding, error) {
+	if err := validateKey(inst, key, n); err != nil {
+		return nil, err
+	}
+	s := &Sharding{N: n, Key: key, Shards: make([]*Shard, n)}
+	if n == 1 {
+		sh := &Shard{Inst: inst.ShallowClone()}
+		for name := range key {
+			rows := inst.Relation(name).Len()
+			sh.Rows += rows
+			s.totalRows += rows
+		}
+		s.Shards[0] = sh
+		return s, nil
+	}
+	parts := make([]*database.Relation, n)
+	for i := range s.Shards {
+		s.Shards[i] = &Shard{Inst: database.NewInstance(), Keys: database.NewTupleSet(0)}
+	}
+	for _, name := range inst.Names() {
+		r := inst.Relation(name)
+		col, partitioned := key[name]
+		if !partitioned {
+			for i := range s.Shards {
+				s.Shards[i].Inst.AddRelation(r)
+			}
+			continue
+		}
+		for i := range parts {
+			parts[i] = database.NewRelation(name, r.Arity())
+		}
+		keyTuple := make(database.Tuple, 1)
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			keyTuple[0] = row[col]
+			sh := int(keyTuple.Hash() % uint64(n))
+			parts[sh].Append(row...)
+			s.Shards[sh].Keys.Insert(keyTuple)
+		}
+		for i := range parts {
+			s.Shards[i].Inst.AddRelation(parts[i])
+			s.Shards[i].Rows += parts[i].Len()
+			s.totalRows += parts[i].Len()
+		}
+	}
+	return s, nil
+}
+
+// TotalRows returns the number of rows across partitioned relations.
+func (s *Sharding) TotalRows() int { return s.totalRows }
+
+// MaxShare returns the largest fraction of partitioned rows routed to a
+// single shard — the balance metric the planner uses to reject skewed
+// partition attributes. It returns 0 for an empty partitioning.
+func (s *Sharding) MaxShare() float64 {
+	if s.totalRows == 0 {
+		return 0
+	}
+	max := 0
+	for _, sh := range s.Shards {
+		if sh.Rows > max {
+			max = sh.Rows
+		}
+	}
+	return float64(max) / float64(s.totalRows)
+}
+
+// DistinctKeys returns the number of distinct partition-key values routed
+// to shard i (0 for the trivial sharding, which keeps no key index).
+func (s *Sharding) DistinctKeys(i int) int {
+	if s.Shards[i].Keys == nil {
+		return 0
+	}
+	return s.Shards[i].Keys.Len()
+}
+
+// String summarises the sharding: shard count, partitioned relations and
+// the per-shard row balance.
+func (s *Sharding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharding n=%d on {", s.N)
+	first := true
+	for _, name := range sortedNames(s.Key) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s[%d]", name, s.Key[name])
+	}
+	b.WriteString("} rows=[")
+	for i, sh := range s.Shards {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d", sh.Rows)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func sortedNames(k Key) []string {
+	out := make([]string, 0, len(k))
+	for name := range k {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/enumeration"
+	"repro/internal/workload"
+)
+
+// buildJoinInstance makes R1(x,y), R2(y,w) data with given sizes.
+func buildJoinInstance(n1, n2 int) *database.Instance {
+	inst := database.NewInstance()
+	r1 := database.NewRelation("R1", 2)
+	for i := 0; i < n1; i++ {
+		r1.AppendInts(int64(i), int64(i%17))
+	}
+	r2 := database.NewRelation("R2", 2)
+	for i := 0; i < n2; i++ {
+		r2.AppendInts(int64(i%17), int64(i))
+	}
+	inst.AddRelation(r1)
+	inst.AddRelation(r2)
+	return inst
+}
+
+// TestPartitionInvariants checks row preservation, routing and replication.
+func TestPartitionInvariants(t *testing.T) {
+	inst := buildJoinInstance(500, 300)
+	for _, n := range []int{1, 2, 8} {
+		s, err := Partition(inst, Key{"R1": 1, "R2": 0}, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(s.Shards) != n {
+			t.Fatalf("n=%d: got %d shards", n, len(s.Shards))
+		}
+		total := 0
+		distinct := 0
+		for i, sh := range s.Shards {
+			r1 := sh.Inst.Relation("R1")
+			r2 := sh.Inst.Relation("R2")
+			if r1 == nil || r2 == nil {
+				t.Fatalf("n=%d shard %d: missing relations", n, i)
+			}
+			total += r1.Len() + r2.Len()
+			distinct += s.DistinctKeys(i)
+			if n == 1 {
+				continue
+			}
+			// Every row's key value must hash to this shard.
+			for _, rel := range []*database.Relation{r1} {
+				for j := 0; j < rel.Len(); j++ {
+					v := rel.Row(j)[1]
+					if int(database.Tuple{v}.Hash()%uint64(n)) != i {
+						t.Fatalf("n=%d: row routed to wrong shard", n)
+					}
+				}
+			}
+		}
+		if total != 800 {
+			t.Fatalf("n=%d: %d rows across shards, want 800", n, total)
+		}
+		if n > 1 && distinct != 17 {
+			t.Fatalf("n=%d: %d distinct keys across shards, want 17", n, distinct)
+		}
+		if s.TotalRows() != 800 {
+			t.Fatalf("n=%d: TotalRows = %d", n, s.TotalRows())
+		}
+	}
+}
+
+// TestPartitionReplicates checks relations outside the key are shared.
+func TestPartitionReplicates(t *testing.T) {
+	inst := buildJoinInstance(100, 50)
+	s, err := Partition(inst, Key{"R1": 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := inst.Relation("R2")
+	for i, sh := range s.Shards {
+		if sh.Inst.Relation("R2") != orig {
+			t.Fatalf("shard %d: R2 not shared by reference", i)
+		}
+	}
+}
+
+// TestPartitionErrors covers the validation paths.
+func TestPartitionErrors(t *testing.T) {
+	inst := buildJoinInstance(10, 10)
+	if _, err := Partition(inst, Key{"R1": 1}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Partition(inst, Key{}, 2); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := Partition(inst, Key{"Nope": 0}, 2); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	if _, err := Partition(inst, Key{"R1": 7}, 2); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+// TestCandidatesJoinQuery checks safety and ranking on a two-atom join.
+func TestCandidatesJoinQuery(t *testing.T) {
+	q := cq.MustParseCQ("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	inst := buildJoinInstance(200, 100)
+	cands := Candidates(q, inst)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3 (x, y, w): %+v", len(cands), cands)
+	}
+	// y covers both atoms and is a head variable: it must rank first.
+	if cands[0].Var != "y" || !cands[0].Head || cands[0].Atoms != 2 {
+		t.Fatalf("best candidate = %+v, want y covering 2 atoms", cands[0])
+	}
+	if cands[0].Key["R1"] != 1 || cands[0].Key["R2"] != 0 {
+		t.Fatalf("y key = %v", cands[0].Key)
+	}
+}
+
+// TestCandidatesSelfJoinUnsafe: a self-join placing the variable at
+// conflicting columns has no safe attribute at all.
+func TestCandidatesSelfJoinUnsafe(t *testing.T) {
+	q := cq.MustParseCQ("Q(x,y,z) <- R(x,y), R(y,z).")
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	r.AppendInts(1, 2)
+	inst.AddRelation(r)
+	if cands := Candidates(q, inst); len(cands) != 0 {
+		t.Fatalf("self-join produced candidates %+v, want none", cands)
+	}
+	if _, _, ok := ChooseAndPartition(q, inst, 4); ok {
+		t.Fatal("ChooseAndPartition found an attribute for an unsafe query")
+	}
+}
+
+// TestCandidatesRepeatedVarSameColumn: a self-join keeping the variable at
+// one common column stays safe.
+func TestCandidatesRepeatedVarSameColumn(t *testing.T) {
+	q := cq.MustParseCQ("Q(c,x,y) <- R(c,x), R(c,y).")
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	r.AppendInts(1, 2)
+	r.AppendInts(1, 3)
+	inst.AddRelation(r)
+	cands := Candidates(q, inst)
+	if len(cands) != 1 || cands[0].Var != "c" || cands[0].Key["R"] != 0 {
+		t.Fatalf("candidates = %+v, want exactly c at column 0", cands)
+	}
+}
+
+// TestChooseAndPartitionAvoidsSkew: when the top-ranked attribute routes
+// most input to one shard, the planner falls to a balanced one.
+func TestChooseAndPartitionAvoidsSkew(t *testing.T) {
+	q := cq.MustParseCQ("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	// One y value dominates R1, so partitioning on y concentrates the
+	// input; partitioning on x splits it evenly.
+	inst := workload.SkewedJoin(4000, 8, 37, 40, 3, 1)
+	n := 8
+	s, cand, ok := ChooseAndPartition(q, inst, n)
+	if !ok {
+		t.Fatal("no attribute chosen")
+	}
+	if cand.Var == "y" {
+		t.Fatalf("planner chose the skewed attribute y (share %.2f)", s.MaxShare())
+	}
+	if share := s.MaxShare(); share > skewLimit(n) {
+		t.Fatalf("chosen attribute %s still skewed: share %.2f", cand.Var, share)
+	}
+}
+
+// TestChooseAndPartitionRejectsSkewedExistential: when the only safe
+// attribute is an existential variable and every candidate is hopelessly
+// skewed, the planner must fall back to unsharded evaluation rather than
+// ship a near-degenerate sharding with dedup still on.
+func TestChooseAndPartitionRejectsSkewedExistential(t *testing.T) {
+	q := cq.MustParseCQ("Q() <- R1(z), R2(z).")
+	inst := database.NewInstance()
+	r1 := database.NewRelation("R1", 1)
+	r2 := database.NewRelation("R2", 1)
+	// A single join value: every candidate routes 100% of rows together.
+	r1.AppendInts(9)
+	r2.AppendInts(9)
+	inst.AddRelation(r1)
+	inst.AddRelation(r2)
+	if _, cand, ok := ChooseAndPartition(q, inst, 8); ok {
+		t.Fatalf("skewed existential attribute %s accepted", cand.Var)
+	}
+}
+
+// TestChooseAndPartitionKeepsSkewedHead: a skewed head attribute is still
+// worth sharding — disjoint shard streams let the merge skip dedup — so the
+// planner accepts the least-skewed head candidate when nothing balances.
+func TestChooseAndPartitionKeepsSkewedHead(t *testing.T) {
+	q := cq.MustParseCQ("Q(x,w) <- R1(x,z), R2(z,w).")
+	inst := database.NewInstance()
+	r1 := database.NewRelation("R1", 2)
+	r2 := database.NewRelation("R2", 2)
+	// Every column is dominated by one value: x and w (heads) are constant
+	// on ~90% of rows, and the join key z concentrates the same way.
+	for i := int64(0); i < 540; i++ {
+		r1.AppendInts(7, 0)
+		r2.AppendInts(0, 5)
+	}
+	for i := int64(1); i <= 60; i++ {
+		r1.AppendInts(7, i)
+		r2.AppendInts(i, 5)
+	}
+	inst.AddRelation(r1)
+	inst.AddRelation(r2)
+	s, cand, ok := ChooseAndPartition(q, inst, 8)
+	if !ok {
+		t.Fatal("skewed head attribute rejected; dedup-free sharding lost")
+	}
+	if !cand.Head {
+		t.Fatalf("chose %+v, want a head variable", cand)
+	}
+	if s.N != 8 {
+		t.Fatalf("sharding N = %d", s.N)
+	}
+}
+
+// TestShardedIteratorUnion: the standalone iterator merges shard streams
+// into the full answer set.
+func TestShardedIteratorUnion(t *testing.T) {
+	mk := func(base, n int) []database.Tuple {
+		out := make([]database.Tuple, n)
+		for i := range out {
+			out[i] = database.Tuple{database.V(int64(base + i))}
+		}
+		return out
+	}
+	for _, disjoint := range []bool{false, true} {
+		it := NewShardedIterator(1, disjoint, 60,
+			enumeration.NewSliceIterator(mk(0, 20)),
+			enumeration.NewSliceIterator(mk(20, 20)),
+			enumeration.NewSliceIterator(mk(40, 20)))
+		var got []int
+		for {
+			tup, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, int(tup[0].Payload()))
+		}
+		sort.Ints(got)
+		if len(got) != 60 || got[0] != 0 || got[59] != 59 {
+			t.Fatalf("disjoint=%v: merged %d answers (range %v..%v), want 0..59",
+				disjoint, len(got), got[0], got[len(got)-1])
+		}
+	}
+}

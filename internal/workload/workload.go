@@ -69,6 +69,50 @@ func Chain(names []string, arities []int, width, degree int, seed int64) *databa
 	return inst
 }
 
+// SkewedJoin builds a two-relation join instance for Q(x,y,w) <- R1(x,y),
+// R2(y,w) in which one join value dominates: join value 0 carries heavyLeft
+// R1 rows (distinct x values) and heavyRight R2 rows (distinct w values),
+// while join values 1..lightKeys each carry lightLeft R1 rows and
+// lightRight R2 rows. All x values are globally distinct, so the join has
+// exactly heavyLeft·heavyRight + lightKeys·lightLeft·lightRight answers,
+// concentrated on the heavy key — the output-skew regime of unbalanced
+// triangle/star workloads. Row insertion order is shuffled from seed.
+func SkewedJoin(heavyLeft, heavyRight, lightKeys, lightLeft, lightRight int, seed int64) *database.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ a, b int64 }
+	var rows1, rows2 []pair
+	x := int64(0)
+	w := int64(0)
+	addKey := func(y int64, left, right int) {
+		for i := 0; i < left; i++ {
+			rows1 = append(rows1, pair{x, y})
+			x++
+		}
+		for i := 0; i < right; i++ {
+			rows2 = append(rows2, pair{y, w})
+			w++
+		}
+	}
+	addKey(0, heavyLeft, heavyRight)
+	for k := 1; k <= lightKeys; k++ {
+		addKey(int64(k), lightLeft, lightRight)
+	}
+	rng.Shuffle(len(rows1), func(i, j int) { rows1[i], rows1[j] = rows1[j], rows1[i] })
+	rng.Shuffle(len(rows2), func(i, j int) { rows2[i], rows2[j] = rows2[j], rows2[i] })
+	inst := database.NewInstance()
+	r1 := database.NewRelation("R1", 2)
+	for _, p := range rows1 {
+		r1.AppendInts(p.a, p.b)
+	}
+	r2 := database.NewRelation("R2", 2)
+	for _, p := range rows2 {
+		r2.AppendInts(p.a, p.b)
+	}
+	inst.AddRelation(r1)
+	inst.AddRelation(r2)
+	return inst
+}
+
 // Example2Instance builds data for Example 2's schema (R1, R2, R3 binary)
 // with `width` vertices per layer and `degree` out-edges per vertex.
 // The instance size grows linearly in width·degree.

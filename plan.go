@@ -52,8 +52,50 @@ type PlanOptions struct {
 	// CloseAnswers) to release their workers.
 	Parallel bool
 	// ParallelBatch sets how many answers each branch worker hands to the
-	// merge per synchronization; ≤ 0 selects a sensible default.
+	// merge per synchronization; 0 selects a sensible default.
 	ParallelBatch int
+	// Shards fans each union branch out across N hash-partitioned shards
+	// of the instance: the planner picks a safe partition attribute from
+	// every CQ's join structure (preferring head variables, whose shard
+	// streams are disjoint and skip deduplication) and falls back to the
+	// unsharded branch when none exists. Requires Parallel. 0 disables
+	// sharding.
+	Shards int
+}
+
+// OptionsError reports an invalid PlanOptions combination. NewPlan returns
+// it (match with errors.As) instead of silently ignoring the conflicting
+// fields.
+type OptionsError struct {
+	// Field names the offending option.
+	Field string
+	// Reason explains the conflict.
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("ucq: invalid PlanOptions: %s: %s", e.Field, e.Reason)
+}
+
+// validate rejects option combinations that previously degraded silently.
+func (o *PlanOptions) validate() error {
+	if o.ForceNaive && o.RequireConstantDelay {
+		return &OptionsError{Field: "ForceNaive", Reason: "contradicts RequireConstantDelay"}
+	}
+	if o.ParallelBatch < 0 {
+		return &OptionsError{Field: "ParallelBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", o.ParallelBatch)}
+	}
+	if o.Shards < 0 {
+		return &OptionsError{Field: "Shards", Reason: fmt.Sprintf("must be ≥ 0, got %d", o.Shards)}
+	}
+	if o.Shards > 0 && !o.Parallel {
+		return &OptionsError{Field: "Shards", Reason: "sharded enumeration requires Parallel"}
+	}
+	if o.ParallelBatch > 0 && !o.Parallel {
+		return &OptionsError{Field: "ParallelBatch", Reason: "batching requires Parallel"}
+	}
+	return nil
 }
 
 // Plan is a prepared evaluation of one UCQ over one instance.
@@ -72,6 +114,7 @@ type Plan struct {
 	inst     *database.Instance
 	parallel bool
 	batch    int
+	shards   int
 }
 
 // NewPlan prepares the evaluation of u over inst: it removes redundant
@@ -85,16 +128,24 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 	if opts == nil {
 		opts = &PlanOptions{}
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	work := u
 	if !opts.KeepRedundant {
 		work = homomorphism.RemoveRedundant(u)
 	}
-	p := &Plan{Query: u, Evaluated: work, inst: inst, parallel: opts.Parallel, batch: opts.ParallelBatch}
+	p := &Plan{Query: u, Evaluated: work, inst: inst, parallel: opts.Parallel, batch: opts.ParallelBatch, shards: opts.Shards}
 	if !opts.ForceNaive {
 		if cert, ok := core.FindCertificate(work, opts.Search); ok {
 			up, err := core.NewUnionPlan(work, cert, inst)
 			if err != nil {
 				return nil, err
+			}
+			if opts.Shards > 0 {
+				if err := up.PrepareShards(opts.Shards); err != nil {
+					return nil, err
+				}
 			}
 			p.Mode = ConstantDelay
 			p.Cert = cert
@@ -124,13 +175,26 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 // drain it fully or release it with CloseAnswers.
 func (p *Plan) Iterator() Answers {
 	if p.Mode == ConstantDelay {
+		if p.shards > 0 {
+			it, err := p.union.IteratorParallelSharded(p.batch)
+			if err != nil {
+				// NewPlan ran PrepareShards; reaching this is a bug.
+				panic(fmt.Sprintf("ucq: sharded iterator failed after preparation: %v", err))
+			}
+			return it
+		}
 		if p.parallel {
 			return p.union.IteratorParallel(p.batch)
 		}
 		return p.union.Iterator()
 	}
 	eval := baseline.EvalUCQ
-	if p.parallel {
+	switch {
+	case p.shards > 0:
+		eval = func(u *UCQ, inst *Instance) (*Relation, error) {
+			return baseline.EvalUCQShardedParallel(u, inst, p.shards)
+		}
+	case p.parallel:
 		eval = baseline.EvalUCQParallel
 	}
 	rel, err := eval(p.Evaluated, p.inst)
@@ -180,7 +244,11 @@ func (p *Plan) Count() int {
 // engine plans; in naive mode, a one-line notice.
 func (p *Plan) Explain() string {
 	if p.Mode == ConstantDelay {
-		return p.union.Explain()
+		s := p.union.Explain()
+		if p.shards > 0 {
+			s += p.union.ExplainShards()
+		}
+		return s
 	}
 	return "naive plan: join and deduplicate (no certificate; no delay guarantee)\n"
 }

@@ -1,0 +1,149 @@
+package ucq
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/paper"
+	"repro/internal/workload"
+)
+
+// collectSorted drains an answer stream, failing on in-stream duplicates,
+// and returns the sorted answer set.
+func collectSorted(t *testing.T, label string, it Answers) []Tuple {
+	t.Helper()
+	seen := database.NewTupleSet(0)
+	var out []Tuple
+	for {
+		tup, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !seen.Insert(tup) {
+			t.Fatalf("%s: duplicate answer %v", label, tup)
+		}
+		out = append(out, tup.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TestShardedEquivalenceGallery runs every paper example with sharded
+// parallel evaluation across shard counts {1, 2, 8} against the sequential
+// plan: same answer set, no duplicates, in both constant-delay and naive
+// fallback modes.
+func TestShardedEquivalenceGallery(t *testing.T) {
+	for gi, ex := range paper.Gallery() {
+		u := ex.Query()
+		inst := workload.RandomForQuery(u, 120, 12, int64(gi+1))
+		seq, err := NewPlan(u, inst, nil)
+		if err != nil {
+			t.Fatalf("%s: sequential plan: %v", ex.Name, err)
+		}
+		want := collectSorted(t, ex.Name+"/seq", seq.Iterator())
+		for _, n := range []int{1, 2, 8} {
+			p, err := NewPlan(u, inst, &PlanOptions{Parallel: true, Shards: n})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", ex.Name, n, err)
+			}
+			if p.Mode != seq.Mode {
+				t.Fatalf("%s shards=%d: mode %v, sequential mode %v", ex.Name, n, p.Mode, seq.Mode)
+			}
+			got := collectSorted(t, ex.Name, p.Iterator())
+			if len(got) != len(want) {
+				t.Fatalf("%s shards=%d (%v): %d answers, want %d", ex.Name, n, p.Mode, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%s shards=%d: answer %d = %v, want %v", ex.Name, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSkewedData checks sharded evaluation on an instance dominated
+// by one join key, in both engine modes.
+func TestShardedSkewedData(t *testing.T) {
+	u := MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	inst := workload.SkewedJoin(600, 10, 15, 20, 4, 9)
+	want := 600*10 + 15*20*4
+	for _, opts := range []*PlanOptions{
+		{Parallel: true, Shards: 8},
+		{Parallel: true, Shards: 8, ForceNaive: true},
+	} {
+		p, err := NewPlan(u, inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Count(); got != want {
+			t.Fatalf("mode %v: %d answers, want %d", p.Mode, got, want)
+		}
+	}
+}
+
+// TestShardedLimitClose: cutting a sharded stream short must release the
+// workers via CloseAnswers without deadlock.
+func TestShardedLimitClose(t *testing.T) {
+	u := MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	inst := workload.SkewedJoin(2000, 50, 10, 10, 2, 3)
+	p, err := NewPlan(u, inst, &PlanOptions{Parallel: true, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := p.Iterator()
+	for i := 0; i < 5; i++ {
+		if _, ok := it.Next(); !ok {
+			t.Fatal("expected at least 5 answers")
+		}
+	}
+	CloseAnswers(it)
+	if _, ok := it.Next(); ok {
+		t.Fatal("answer after CloseAnswers")
+	}
+}
+
+// TestPlanOptionsValidation: invalid combinations are rejected with a typed
+// OptionsError instead of degrading to a silent sequential run.
+func TestPlanOptionsValidation(t *testing.T) {
+	u := MustParse("Q(x) <- R1(x,y).")
+	inst := workload.RandomForQuery(u, 10, 5, 1)
+	cases := []struct {
+		name string
+		opts *PlanOptions
+	}{
+		{"shards-without-parallel", &PlanOptions{Shards: 4}},
+		{"negative-shards", &PlanOptions{Parallel: true, Shards: -1}},
+		{"batch-without-parallel", &PlanOptions{ParallelBatch: 16}},
+		{"negative-batch", &PlanOptions{Parallel: true, ParallelBatch: -2}},
+		{"naive-and-constant-delay", &PlanOptions{ForceNaive: true, RequireConstantDelay: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPlan(u, inst, tc.opts)
+			if err == nil {
+				t.Fatal("invalid options accepted")
+			}
+			var oe *OptionsError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v is not an *OptionsError", err)
+			}
+			if oe.Field == "" || oe.Reason == "" {
+				t.Fatalf("OptionsError missing detail: %+v", oe)
+			}
+		})
+	}
+	// The valid combinations still plan.
+	for _, opts := range []*PlanOptions{
+		nil,
+		{Parallel: true},
+		{Parallel: true, Shards: 2},
+		{Parallel: true, ParallelBatch: 8, Shards: 8},
+	} {
+		if _, err := NewPlan(u, inst, opts); err != nil {
+			t.Fatalf("valid options %+v rejected: %v", opts, err)
+		}
+	}
+}
