@@ -564,3 +564,45 @@ func BenchmarkE11FunctionalDependencies(b *testing.B) {
 	}
 	b.ReportMetric(float64(answers), "answers/op")
 }
+
+// BenchmarkE15UnionPrepareVsBind quantifies the split the server's
+// prepared-plan cache exploits: "prepare" pays the instance-independent
+// work (redundancy removal + certificate search) on every request, "bind"
+// only the per-instance Theorem 12 preprocessing from a cached
+// PreparedQuery — the cost of a cache hit.
+func BenchmarkE15UnionPrepareVsBind(b *testing.B) {
+	u := MustParse(`
+		Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).
+		Q2(x,y,w) <- R1(x,y), R2(y,w).
+	`)
+	inst := workload.Example2Instance(400, 3, 1)
+	b.Run("prepare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Prepare(u, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pq, err := Prepare(u, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bind", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Bind(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepare+bind+drain", func(b *testing.B) {
+		answers := 0
+		for i := 0; i < b.N; i++ {
+			plan, err := NewPlan(u, inst, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			answers = drain(b, plan.Iterator())
+		}
+		b.ReportMetric(float64(answers), "answers/op")
+	})
+}

@@ -1,11 +1,16 @@
 package ucq
 
 import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCLISmoke builds and exercises the command-line tools end to end.
@@ -110,5 +115,71 @@ func TestCLISmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "## E9 ") || strings.Contains(string(out), "MISMATCH") {
 		t.Errorf("ucq-experiments output malformed")
+	}
+}
+
+// TestServeSmoke builds and runs the ucq-serve binary and exercises the
+// streaming endpoint over a real socket. Skipped in -short mode.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server smoke test shells out to the Go toolchain")
+	}
+	bin := filepath.Join(t.TempDir(), "ucq-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/ucq-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build ucq-serve: %v\n%s", err, out)
+	}
+
+	// Reserve a free port; the gap between Close and the server's Listen
+	// is benign for a test on loopback.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 150; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("ucq-serve did not become ready")
+	}
+
+	body := `{"query": "Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w). Q2(x,y,w) <- R1(x,y), R2(y,w).",
+		"relations": {"R1": [[1,2],[4,2]], "R2": [[2,3]], "R3": [[3,5],[3,6]]}}`
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := string(raw)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d\n%s", i, resp.StatusCode, out)
+		}
+		want := fmt.Sprintf(`{"done":true,"count":6,"mode":"constant-delay","cache":%q}`, wantCache)
+		if !strings.Contains(out, want) {
+			t.Errorf("request %d: response missing trailer %s:\n%s", i, want, out)
+		}
 	}
 }

@@ -1,0 +1,78 @@
+// ucq-serve is the long-lived streaming UCQ evaluation service: it serves
+// ucq-run-style requests over HTTP, amortizing the Theorem 12 certificate
+// search across requests through a prepared-plan cache keyed on
+// (normalized query, schema), and streams answers as NDJSON while
+// enumeration is still running.
+//
+// Usage:
+//
+//	ucq-serve [-addr :8454] [-cache 128] [-flush-every 256] [-max-body 67108864]
+//
+// Endpoints:
+//
+//	POST /query   evaluate a UCQ over the instance in the request body and
+//	              stream the answers as NDJSON (final line is a trailer
+//	              object with the count, engine mode and cache state)
+//	GET  /stats   cache and delay counters as JSON
+//	GET  /healthz liveness probe
+//
+// Example:
+//
+//	curl -sN localhost:8454/query -d '{
+//	  "query": "Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w). Q2(x,y,w) <- R1(x,y), R2(y,w).",
+//	  "relations": {"R1": [[1,2]], "R2": [[2,3]], "R3": [[3,5]]}
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8454", "listen address")
+	cache := flag.Int("cache", server.DefaultCacheSize, "prepared-plan cache capacity (entries)")
+	flushEvery := flag.Int("flush-every", server.DefaultFlushEvery, "flush the response every N answers (first answer always flushes)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		CacheSize:    *cache,
+		FlushEvery:   *flushEvery,
+		MaxBodyBytes: *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ucq-serve: listening on %s (plan cache: %d entries)", *addr, *cache)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ucq-serve: %v", err)
+	case <-ctx.Done():
+		log.Printf("ucq-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("ucq-serve: shutdown: %v", err)
+		}
+	}
+}

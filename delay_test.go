@@ -1,0 +1,73 @@
+package ucq
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/enumeration"
+	"repro/internal/workload"
+)
+
+// TestConstantDelayIndependentOfInstanceSize is the delay-regression
+// check: on the paper's tractable Example 2 union, the typical
+// inter-answer delay of the certified pipeline must not scale with the
+// instance. We measure P95 inter-answer delay via MeasureDelays at two
+// instance sizes (8x apart in width) and require the large instance's
+// delay to stay within a generous constant factor of the small one's —
+// a ratio check with retries rather than an absolute wall-clock bound,
+// so scheduler noise cannot flake it. Preprocessing is allowed to grow
+// (it is linear by Theorem 12); only the delay must stay flat.
+func TestConstantDelayIndependentOfInstanceSize(t *testing.T) {
+	u := MustParse(`
+		Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w).
+		Q2(x,y,w) <- R1(x,y), R2(y,w).
+	`)
+	pq, err := Prepare(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Mode != ConstantDelay {
+		t.Fatalf("Example 2 union must certify constant-delay, got %s", pq.Mode)
+	}
+
+	measure := func(width int) enumeration.DelayStats {
+		inst := workload.Example2Instance(width, 3, 7)
+		return enumeration.MeasureDelays(func() enumeration.Iterator {
+			plan, err := pq.Bind(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return plan.Iterator()
+		})
+	}
+
+	// The generous bound: P95 delay may grow by at most this factor over
+	// an 8x instance-size increase. A linear-in-instance delay would show
+	// up as ~8x on its own and fail even under heavy noise.
+	const maxRatio = 30.0
+	const floor = 200 * time.Nanosecond // quantization floor for tiny delays
+	const attempts = 4
+
+	var lastSmall, lastLarge enumeration.DelayStats
+	for attempt := 0; attempt < attempts; attempt++ {
+		small := measure(100)
+		large := measure(800)
+		lastSmall, lastLarge = small, large
+		if small.Count < 1000 || large.Count < 8*small.Count/2 {
+			t.Fatalf("workload too small to measure: %d and %d answers", small.Count, large.Count)
+		}
+		smallP95 := small.P95
+		if smallP95 < floor {
+			smallP95 = floor
+		}
+		if float64(large.P95) <= maxRatio*float64(smallP95) {
+			t.Logf("delay regression ok (attempt %d): small P95=%v (n=%d), large P95=%v (n=%d)",
+				attempt, small.P95, small.Count, large.P95, large.Count)
+			return
+		}
+		t.Logf("attempt %d: large P95=%v > %.0fx small P95=%v; retrying",
+			attempt, large.P95, maxRatio, smallP95)
+	}
+	t.Errorf("P95 inter-answer delay scaled with instance size on every attempt: small %+v, large %+v",
+		lastSmall, lastLarge)
+}

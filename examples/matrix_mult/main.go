@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro"
@@ -20,6 +22,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, []int{32, 64, 128}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, sizes []int) error {
 	// Example 20: two body-isomorphic CQs; the free-path (w,v,y) of the
 	// rewritten Q1 is not guarded by free(Q2).
 	u := ucq.MustParse(`
@@ -28,18 +36,18 @@ func main() {
 	`)
 	res, err := ucq.Classify(u)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("query verdict: %s — %s\n\n", res.Verdict, res.Reason)
+	fmt.Fprintf(w, "query verdict: %s — %s\n\n", res.Verdict, res.Reason)
 
 	enc, err := reduction.NewMatMulEncoding(u)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("unguarded free-path: %v (Vx=%v Vz=%v Vy=%v)\n\n",
+	fmt.Fprintf(w, "unguarded free-path: %v (Vx=%v Vz=%v Vy=%v)\n\n",
 		enc.Path, enc.Vx, enc.Vz, enc.Vy)
 
-	for _, n := range []int{32, 64, 128} {
+	for _, n := range sizes {
 		a := matrix.Random(n, 0.4, int64(n))
 		b := matrix.Random(n, 0.4, int64(n)+1)
 
@@ -51,7 +59,7 @@ func main() {
 		inst := enc.Instance(a, b)
 		plan, err := ucq.NewPlan(u, inst, &ucq.PlanOptions{ForceNaive: true})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		answers := plan.Materialize()
 		got := enc.DecodeProduct(answers, n)
@@ -61,10 +69,14 @@ func main() {
 		if !got.Equal(want) {
 			status = "MISMATCH"
 		}
-		fmt.Printf("n=%3d: |A·B|=%5d ones, union answers=%6d, direct=%8v, via UCQ=%8v  [%s]\n",
+		fmt.Fprintf(w, "n=%3d: |A·B|=%5d ones, union answers=%6d, direct=%8v, via UCQ=%8v  [%s]\n",
 			n, want.Ones(), answers.Len(), direct.Round(time.Microsecond),
 			viaUCQ.Round(time.Microsecond), status)
+		if status == "MISMATCH" {
+			return fmt.Errorf("n=%d: product decoded from the UCQ differs from the direct product", n)
+		}
 	}
-	fmt.Println("\nEvery decoded product equals the direct Boolean product; the extra")
-	fmt.Println("answers stay within the 2n² bystander bound of the Lemma 25 proof.")
+	fmt.Fprintln(w, "\nEvery decoded product equals the direct Boolean product; the extra")
+	fmt.Fprintln(w, "answers stay within the 2n² bystander bound of the Lemma 25 proof.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the reduction on small matrices; run returns an error
+// when a decoded product mismatches the direct one.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []int{8, 16}); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("output contains MISMATCH:\n%s", out)
+	}
+	if strings.Count(out, "[MATCH]") != 2 {
+		t.Errorf("expected 2 [MATCH] lines:\n%s", out)
+	}
+}

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
@@ -14,14 +16,20 @@ import (
 )
 
 func main() {
-	fmt.Println("Classification of every worked example in Carmeli & Kröll (PODS'19)")
-	fmt.Println(strings.Repeat("=", 78))
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "Classification of every worked example in Carmeli & Kröll (PODS'19)")
+	fmt.Fprintln(w, strings.Repeat("=", 78))
 	agreements := 0
 	for _, ex := range paper.Gallery() {
 		u := ex.Query()
 		res, err := ucq.Classify(u)
 		if err != nil {
-			log.Fatalf("%s: %v", ex.Name, err)
+			return fmt.Errorf("%s: %v", ex.Name, err)
 		}
 		agree := false
 		switch ex.Coverage {
@@ -35,22 +43,27 @@ func main() {
 		if agree {
 			agreements++
 		}
-		fmt.Printf("\n%s (%s)\n", ex.Ref, ex.Name)
+		fmt.Fprintf(w, "\n%s (%s)\n", ex.Ref, ex.Name)
 		for _, line := range strings.Split(u.String(), "\n") {
-			fmt.Printf("    %s\n", line)
+			fmt.Fprintf(w, "    %s\n", line)
 		}
 		hyp := ""
 		if len(ex.Hypotheses) > 0 {
 			hyp = " assuming " + strings.Join(ex.Hypotheses, ", ")
 		}
-		fmt.Printf("  paper:      %s%s [%s]\n", ex.Verdict, hyp, ex.Coverage)
-		fmt.Printf("  classifier: %s — %s\n", res.Verdict, res.Reason)
+		fmt.Fprintf(w, "  paper:      %s%s [%s]\n", ex.Verdict, hyp, ex.Coverage)
+		fmt.Fprintf(w, "  classifier: %s — %s\n", res.Verdict, res.Reason)
 		status := "AGREES"
 		if !agree {
 			status = "DISAGREES"
 		}
-		fmt.Printf("  %s\n", status)
+		fmt.Fprintf(w, "  %s\n", status)
 	}
-	fmt.Printf("\n%s\n%d/%d examples consistent with the paper.\n",
+	fmt.Fprintf(w, "\n%s\n%d/%d examples consistent with the paper.\n",
 		strings.Repeat("=", 78), agreements, len(paper.Gallery()))
+	if agreements != len(paper.Gallery()) {
+		return fmt.Errorf("%d/%d gallery examples disagree with the paper",
+			len(paper.Gallery())-agreements, len(paper.Gallery()))
+	}
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke classifies the full gallery; run returns an error when any
+// example disagrees with the paper, so a pass pins classifier coverage.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if strings.Contains(out, "DISAGREES") {
+		t.Errorf("gallery output contains DISAGREES:\n%s", out)
+	}
+	if !strings.Contains(out, "examples consistent with the paper") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+}

@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Example 2 of the paper: Q1 alone is intractable (its free-path
 	// x–z–y encodes matrix multiplication), but Q2 provides the join of
 	// R1 and R2, making the union tractable.
@@ -22,12 +30,12 @@ func main() {
 
 	res, err := ucq.Classify(u)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("query:\n%s\n\n", u)
-	fmt.Printf("verdict: %s — %s\n", res.Verdict, res.Reason)
+	fmt.Fprintf(w, "query:\n%s\n\n", u)
+	fmt.Fprintf(w, "verdict: %s — %s\n", res.Verdict, res.Reason)
 	if res.Certificate != nil {
-		fmt.Printf("\ncertified union extensions:\n%s\n", res.Certificate)
+		fmt.Fprintf(w, "\ncertified union extensions:\n%s\n", res.Certificate)
 	}
 
 	// A small instance: R1 and R2 form two join layers, R3 fans out.
@@ -47,12 +55,12 @@ func main() {
 
 	plan, err := ucq.NewPlan(u, inst, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nevaluation mode: %s\n", plan.Mode)
+	fmt.Fprintf(w, "\nevaluation mode: %s\n", plan.Mode)
 
 	it := plan.Iterator()
-	fmt.Println("answers:")
+	fmt.Fprintln(w, "answers:")
 	count := 0
 	for {
 		t, ok := it.Next()
@@ -60,17 +68,18 @@ func main() {
 			break
 		}
 		count++
-		fmt.Printf("  %v\n", t)
+		fmt.Fprintf(w, "  %v\n", t)
 	}
-	fmt.Printf("%d answers, no duplicates, constant delay.\n", count)
+	fmt.Fprintf(w, "%d answers, no duplicates, constant delay.\n", count)
 
 	// Cross-check against the naive evaluator.
 	naive, err := ucq.NewPlan(u, inst, &ucq.PlanOptions{ForceNaive: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if naive.Count() != count {
-		log.Fatalf("MISMATCH: naive evaluator found %d answers", naive.Count())
+		return fmt.Errorf("MISMATCH: naive evaluator found %d answers, constant-delay found %d", naive.Count(), count)
 	}
-	fmt.Println("naive evaluator agrees. ✓")
+	fmt.Fprintln(w, "naive evaluator agrees. ✓")
+	return nil
 }

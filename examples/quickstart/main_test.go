@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the full example and checks its load-bearing
+// output: a tractable verdict, constant-delay evaluation, and the naive
+// cross-check agreeing.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"verdict: tractable",
+		"evaluation mode: constant-delay",
+		"answers, no duplicates",
+		"naive evaluator agrees",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

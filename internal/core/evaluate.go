@@ -67,6 +67,12 @@ func (p *UnionPlan) Stats() UnionStats { return p.stats }
 
 // NewUnionPlan verifies the certificate and performs the full Theorem 12
 // preprocessing over the instance.
+//
+// The (u, cert) pair is only read: a certificate found once may be shared
+// by concurrent NewUnionPlan calls binding it to different instances (the
+// prepared-plan reuse a long-lived server depends on). All mutable state —
+// virtual relations, bonus answers, per-CQ engine plans — lives in the
+// returned UnionPlan.
 func NewUnionPlan(u *cq.UCQ, cert *Certificate, inst *database.Instance) (*UnionPlan, error) {
 	if err := cert.Verify(u); err != nil {
 		return nil, err

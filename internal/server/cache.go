@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	ucq "repro"
+)
+
+// PlanCache is a concurrency-safe LRU cache of prepared queries keyed on
+// (normalized query, schema, preparation mode). It caches the
+// instance-independent half of planning — redundancy removal and the
+// Theorem 12 certificate search — which is exactly the work that must not
+// be repeated per request; the per-instance preprocessing happens at Bind
+// time, outside the cache.
+//
+// Concurrent misses on the same key are coalesced: one caller runs the
+// preparation while the others wait for its result, so a thundering herd
+// of identical cold requests plans exactly once.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*flight
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// entry is one cached preparation.
+type entry struct {
+	key string
+	pq  *ucq.PreparedQuery
+}
+
+// flight is an in-progress preparation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	pq   *ucq.PreparedQuery
+	err  error
+}
+
+// NewPlanCache builds a cache holding at most capacity prepared queries
+// (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the prepared query for key, calling prepare on a miss and
+// caching its result. The returned bool reports whether the call was
+// served without running prepare (a cache hit, including joining another
+// caller's in-flight preparation). Failed preparations are not cached.
+func (c *PlanCache) Get(key string, prepare func() (*ucq.PreparedQuery, error)) (*ucq.PreparedQuery, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		pq := el.Value.(*entry).pq
+		c.mu.Unlock()
+		return pq, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.pq, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.pq, fl.err = prepare()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.entries[key] = c.order.PushFront(&entry{key: key, pq: fl.pq})
+		for c.order.Len() > c.capacity {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.entries, last.Value.(*entry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return fl.pq, false, fl.err
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

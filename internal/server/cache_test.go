@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	ucq "repro"
+)
+
+func prepared(t *testing.T, src string) func() (*ucq.PreparedQuery, error) {
+	t.Helper()
+	return func() (*ucq.PreparedQuery, error) {
+		return ucq.Prepare(ucq.MustParse(src), nil)
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewPlanCache(2)
+	pqA, hit, err := c.Get("a", prepared(t, "Q(x) <- R(x)."))
+	if err != nil || hit {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+	got, hit, err := c.Get("a", prepared(t, "Q(x) <- R(x)."))
+	if err != nil || !hit || got != pqA {
+		t.Fatalf("second get: hit=%v same=%v err=%v", hit, got == pqA, err)
+	}
+	c.Get("b", prepared(t, "Q(x) <- S(x)."))
+	c.Get("a", prepared(t, "Q(x) <- R(x).")) // touch a: recency a > b
+	c.Get("c", prepared(t, "Q(x) <- T(x).")) // evicts "b", the least recently used
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, hit, _ := c.Get("a", prepared(t, "Q(x) <- R(x).")); !hit {
+		t.Error("a should have survived eviction (LRU order)")
+	}
+	if _, hit, _ := c.Get("b", prepared(t, "Q(x) <- S(x).")); hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewPlanCache(4)
+	fail := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, hit, err := c.Get("k", func() (*ucq.PreparedQuery, error) {
+			calls++
+			return nil, fail
+		})
+		if hit || !errors.Is(err, fail) {
+			t.Fatalf("get %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("prepare ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Errorf("size = %d, want 0", st.Size)
+	}
+}
+
+// TestCacheCoalescesConcurrentMisses proves the singleflight behavior: N
+// goroutines racing on one cold key run the preparation exactly once.
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	c := NewPlanCache(4)
+	var prepares atomic.Int32
+	release := make(chan struct{})
+	const workers = 8
+
+	var wg sync.WaitGroup
+	results := make([]*ucq.PreparedQuery, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pq, _, err := c.Get("k", func() (*ucq.PreparedQuery, error) {
+				prepares.Add(1)
+				<-release // hold the flight open so the others must join it
+				return ucq.Prepare(ucq.MustParse("Q(x) <- R(x)."), nil)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = pq
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := prepares.Load(); n != 1 {
+		t.Errorf("prepare ran %d times, want 1", n)
+	}
+	for i, pq := range results {
+		if pq != results[0] {
+			t.Errorf("worker %d got a different PreparedQuery", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, workers-1)
+	}
+}

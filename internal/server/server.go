@@ -1,0 +1,270 @@
+// Package server implements the streaming UCQ evaluation service: a
+// long-lived HTTP process answering ucq-run-style requests with a
+// prepared-plan cache keyed on (normalized query, schema).
+//
+// POST /query evaluates one UCQ over the instance carried in the request
+// and streams the answers as NDJSON with chunked flushing: the first tuple
+// leaves the socket while enumeration is still running, preserving the
+// constant-delay character of certified plans end to end. The
+// instance-independent half of planning — redundancy removal and the
+// Theorem 12 certificate search — is served from a concurrency-safe LRU
+// cache, so repeated queries pay only the per-instance preprocessing.
+//
+// GET /stats exposes cache hit/miss/eviction counters, answers streamed,
+// and per-request delay percentiles; GET /healthz is a liveness probe.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	ucq "repro"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize caps the prepared-plan cache (0 = DefaultCacheSize).
+	CacheSize int
+	// FlushEvery flushes the response after this many answers beyond the
+	// first (0 = DefaultFlushEvery). The first answer always flushes
+	// immediately.
+	FlushEvery int
+	// MaxBodyBytes caps the request body (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize    = 128
+	DefaultFlushEvery   = 256
+	DefaultMaxBodyBytes = 64 << 20
+)
+
+// Server is the streaming UCQ evaluation service. Create with New; the
+// zero value is not usable.
+type Server struct {
+	cache *PlanCache
+	stats Stats
+	cfg   Config
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = DefaultFlushEvery
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return &Server{cache: NewPlanCache(cfg.CacheSize), cfg: cfg}
+}
+
+// Handler returns the HTTP handler serving /query, /stats and /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// StatsSnapshot returns the server's current counters — the same data
+// GET /stats serves.
+func (s *Server) StatsSnapshot() Snapshot {
+	return Snapshot{
+		Requests:         s.stats.requests.Load(),
+		Errors:           s.stats.errors.Load(),
+		AnswersStreamed:  s.stats.answersStreamed.Load(),
+		StreamsCompleted: s.stats.streamsCompleted.Load(),
+		PlansPrepared:    s.stats.plansPrepared.Load(),
+		Cache:            s.cache.Stats(),
+		Delays:           s.stats.delays(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.StatsSnapshot())
+}
+
+// planKey builds the cache key: preparation mode, the schema the query
+// references, and the canonical rendering of the parsed query (so
+// whitespace, comments and punctuation variants of the same rules share
+// one entry).
+func planKey(mode string, u *ucq.UCQ) string {
+	key := "mode=" + mode + "\n"
+	for _, d := range u.Schema() {
+		key += fmt.Sprintf("%s/%d;", d.Name, d.Arity)
+	}
+	return key + "\n" + u.String()
+}
+
+// httpError writes a JSON error body with the given status and counts the
+// failure.
+func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.stats.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	u, err := ucq.Parse(req.Query)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "parsing query: %v", err)
+		return
+	}
+	mode := req.Options.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	if mode != "auto" && mode != "naive" {
+		s.httpError(w, http.StatusBadRequest, "options.mode must be \"auto\" or \"naive\", got %q", mode)
+		return
+	}
+	exec := &ucq.PlanOptions{
+		ForceNaive:    mode == "naive",
+		Parallel:      req.Options.Parallel,
+		ParallelBatch: req.Options.Batch,
+		Shards:        req.Options.Shards,
+	}
+	if req.Limit < 0 {
+		s.httpError(w, http.StatusBadRequest, "limit must be ≥ 0, got %d", req.Limit)
+		return
+	}
+
+	// The instance-independent preparation, served from the LRU cache.
+	// Prepare sees only the mode-shaping options: execution options are
+	// applied (and validated) per request in BindExec below, so a request
+	// with invalid execution options can never poison the shared entry or
+	// the callers coalesced onto its in-flight preparation.
+	pq, hit, err := s.cache.Get(planKey(mode, u), func() (*ucq.PreparedQuery, error) {
+		s.stats.plansPrepared.Add(1)
+		return ucq.Prepare(u, &ucq.PlanOptions{ForceNaive: mode == "naive"})
+	})
+	if err != nil {
+		s.planError(w, err)
+		return
+	}
+
+	inst, err := ucq.InstanceFromRows(req.Relations)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Per-instance preprocessing; execution options come from this request
+	// even when the preparation was cached by an earlier one.
+	plan, err := pq.BindExec(inst, exec)
+	if err != nil {
+		s.planError(w, err)
+		return
+	}
+
+	s.stream(w, plan, hit, req.Limit)
+}
+
+// planError maps planning failures onto HTTP statuses: invalid option
+// combinations (typed OptionsError) and schema mismatches are the
+// client's fault.
+func (s *Server) planError(w http.ResponseWriter, err error) {
+	var oe *ucq.OptionsError
+	if errors.As(err, &oe) {
+		s.httpError(w, http.StatusBadRequest, "invalid options: %s: %s", oe.Field, oe.Reason)
+		return
+	}
+	s.httpError(w, http.StatusBadRequest, "planning: %v", err)
+}
+
+// stream drains the plan's iterator into the response as NDJSON. The first
+// answer is flushed immediately — on certified plans it reaches the client
+// while enumeration of the remaining answers is still running — and later
+// answers are flushed every cfg.FlushEvery lines. The final line is a
+// Trailer object.
+func (s *Server) stream(w http.ResponseWriter, plan *ucq.Plan, cacheHit bool, limit int) {
+	cacheState := "miss"
+	if cacheHit {
+		cacheState = "hit"
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
+	w.Header().Set("X-Ucq-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+
+	it := plan.Iterator()
+	defer ucq.CloseAnswers(it)
+
+	start := time.Now()
+	prev := start
+	var firstAnswer, maxDelay time.Duration
+	buf := make([]byte, 0, 256)
+	count := 0
+	disconnected := false
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		now := time.Now()
+		if count == 0 {
+			firstAnswer = now.Sub(start)
+		} else if d := now.Sub(prev); d > maxDelay {
+			maxDelay = d
+		}
+		prev = now
+		buf = ucq.AppendTupleJSON(buf[:0], t)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			// Client went away; stop enumerating, but keep the counters
+			// honest about the answers that already left the socket.
+			disconnected = true
+			break
+		}
+		count++
+		if canFlush && (count == 1 || count%s.cfg.FlushEvery == 0) {
+			flusher.Flush()
+		}
+		if limit > 0 && count >= limit {
+			break
+		}
+	}
+	if count == 0 {
+		firstAnswer = time.Since(start)
+	}
+
+	s.stats.answersStreamed.Add(int64(count))
+	s.stats.RecordTiming(firstAnswer, maxDelay)
+	if disconnected {
+		return
+	}
+	_ = json.NewEncoder(w).Encode(Trailer{
+		Done:  true,
+		Count: count,
+		Mode:  plan.Mode.String(),
+		Cache: cacheState,
+	})
+	if canFlush {
+		flusher.Flush()
+	}
+	s.stats.streamsCompleted.Add(1)
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// delayWindow is how many recent requests contribute to the /stats delay
+// percentiles.
+const delayWindow = 1024
+
+// reqTiming is the per-request delay summary recorded after a stream
+// finishes.
+type reqTiming struct {
+	// firstAnswer is the time from request admission (after decoding) to
+	// the first answer leaving the handler — the per-request preprocessing
+	// cost the client observes.
+	firstAnswer time.Duration
+	// maxDelay is the largest inter-answer gap of the stream.
+	maxDelay time.Duration
+}
+
+// Stats aggregates server counters and a bounded window of per-request
+// delay summaries. All methods are safe for concurrent use.
+type Stats struct {
+	requests         atomic.Int64
+	errors           atomic.Int64
+	answersStreamed  atomic.Int64
+	streamsCompleted atomic.Int64
+	plansPrepared    atomic.Int64
+
+	mu   sync.Mutex
+	ring [delayWindow]reqTiming
+	next int
+	n    int
+}
+
+// RecordTiming appends one request's delay summary to the window.
+func (s *Stats) RecordTiming(firstAnswer, maxDelay time.Duration) {
+	s.mu.Lock()
+	s.ring[s.next] = reqTiming{firstAnswer: firstAnswer, maxDelay: maxDelay}
+	s.next = (s.next + 1) % delayWindow
+	if s.n < delayWindow {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// DelayPercentiles summarises per-request delays over the stats window, in
+// nanoseconds: FirstAnswer is the time to the first streamed answer,
+// InterAnswerMax the worst inter-answer gap within a request.
+type DelayPercentiles struct {
+	Window            int   `json:"window"`
+	FirstAnswerP50    int64 `json:"first_answer_p50_ns"`
+	FirstAnswerP95    int64 `json:"first_answer_p95_ns"`
+	FirstAnswerP99    int64 `json:"first_answer_p99_ns"`
+	InterAnswerMaxP50 int64 `json:"inter_answer_max_p50_ns"`
+	InterAnswerMaxP95 int64 `json:"inter_answer_max_p95_ns"`
+	InterAnswerMaxP99 int64 `json:"inter_answer_max_p99_ns"`
+}
+
+// Snapshot is the GET /stats response body.
+type Snapshot struct {
+	Requests         int64            `json:"requests"`
+	Errors           int64            `json:"errors"`
+	AnswersStreamed  int64            `json:"answers_streamed"`
+	StreamsCompleted int64            `json:"streams_completed"`
+	PlansPrepared    int64            `json:"plans_prepared"`
+	Cache            CacheStats       `json:"cache"`
+	Delays           DelayPercentiles `json:"delays"`
+}
+
+// delays computes the percentile summary over the current window.
+func (s *Stats) delays() DelayPercentiles {
+	s.mu.Lock()
+	first := make([]int64, 0, s.n)
+	inter := make([]int64, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		first = append(first, int64(s.ring[i].firstAnswer))
+		inter = append(inter, int64(s.ring[i].maxDelay))
+	}
+	s.mu.Unlock()
+	out := DelayPercentiles{Window: len(first)}
+	if len(first) == 0 {
+		return out
+	}
+	sort.Slice(first, func(i, j int) bool { return first[i] < first[j] })
+	sort.Slice(inter, func(i, j int) bool { return inter[i] < inter[j] })
+	out.FirstAnswerP50 = percentile(first, 50)
+	out.FirstAnswerP95 = percentile(first, 95)
+	out.FirstAnswerP99 = percentile(first, 99)
+	out.InterAnswerMaxP50 = percentile(inter, 50)
+	out.InterAnswerMaxP95 = percentile(inter, 95)
+	out.InterAnswerMaxP99 = percentile(inter, 99)
+	return out
+}
+
+// percentile reads the p-th percentile from a sorted slice.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayPercentiles(t *testing.T) {
+	var s Stats
+	if d := s.delays(); d.Window != 0 || d.FirstAnswerP50 != 0 {
+		t.Errorf("empty delays = %+v", d)
+	}
+	// 100 requests with first-answer times 1..100µs and max delays
+	// 101..200µs.
+	for i := 1; i <= 100; i++ {
+		s.RecordTiming(time.Duration(i)*time.Microsecond, time.Duration(100+i)*time.Microsecond)
+	}
+	d := s.delays()
+	if d.Window != 100 {
+		t.Fatalf("window = %d", d.Window)
+	}
+	us := int64(time.Microsecond)
+	if d.FirstAnswerP50 != 51*us || d.FirstAnswerP95 != 96*us || d.FirstAnswerP99 != 100*us {
+		t.Errorf("first-answer percentiles = %d %d %d", d.FirstAnswerP50/us, d.FirstAnswerP95/us, d.FirstAnswerP99/us)
+	}
+	if d.InterAnswerMaxP50 != 151*us || d.InterAnswerMaxP99 != 200*us {
+		t.Errorf("inter-answer percentiles = %d %d", d.InterAnswerMaxP50/us, d.InterAnswerMaxP99/us)
+	}
+}
+
+func TestDelayWindowWrapsAround(t *testing.T) {
+	var s Stats
+	// Overfill the ring: the window must stay bounded and hold the most
+	// recent samples.
+	for i := 0; i < delayWindow+50; i++ {
+		s.RecordTiming(time.Duration(i), 0)
+	}
+	d := s.delays()
+	if d.Window != delayWindow {
+		t.Errorf("window = %d, want %d", d.Window, delayWindow)
+	}
+	// The oldest surviving sample is i=50, so p50 reflects the newer half.
+	if d.FirstAnswerP50 < 50 {
+		t.Errorf("p50 = %d, stale samples survived the wrap", d.FirstAnswerP50)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %d", got)
+	}
+	one := []int64{42}
+	for _, p := range []int{0, 50, 99, 100} {
+		if got := percentile(one, p); got != 42 {
+			t.Errorf("percentile(one, %d) = %d", p, got)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+// QueryRequest is the POST /query body: a UCQ in the datalog-style
+// concrete syntax, the instance as relation-name → integer rows, optional
+// engine options and an optional answer limit.
+type QueryRequest struct {
+	// Query is the UCQ source, e.g.
+	// "Q1(x,y) <- R(x,z), S(z,y).\nQ2(x,y) <- R(x,y), S(y,y)."
+	Query string `json:"query"`
+	// Relations maps relation names to rows of integers; the arity of a
+	// relation is fixed by its first row.
+	Relations map[string][][]int64 `json:"relations"`
+	// Options selects the evaluation engine.
+	Options QueryOptions `json:"options"`
+	// Limit stops the stream after this many answers (0 = all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryOptions mirrors the engine-facing subset of ucq.PlanOptions on the
+// wire.
+type QueryOptions struct {
+	// Mode is "auto" (certify, fall back to naive; the default) or
+	// "naive" (skip certification).
+	Mode string `json:"mode,omitempty"`
+	// Parallel drains union branches concurrently.
+	Parallel bool `json:"parallel,omitempty"`
+	// Batch is the parallel batch size per worker (0 = default).
+	Batch int `json:"batch,omitempty"`
+	// Shards hash-partitions each branch across N shards (requires
+	// Parallel; 0 = off).
+	Shards int `json:"shards,omitempty"`
+}
+
+// Trailer is the final NDJSON line of a /query response — the only line
+// that is a JSON object rather than an array, so clients can detect
+// completion and distinguish it from answers.
+type Trailer struct {
+	Done  bool   `json:"done"`
+	Count int    `json:"count"`
+	Mode  string `json:"mode"`
+	Cache string `json:"cache"`
+}
+
+// ErrorResponse is the JSON body of a non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+)
+
+// ucqPool is the fixed relation vocabulary of RandomUCQ. Sharing one
+// name→arity map across all members keeps the union's schema consistent
+// (UCQ.Validate requires it) and makes members join against each other's
+// relations, which is where cross-engine disagreements would hide.
+var ucqPool = []cq.RelDecl{
+	{Name: "S1", Arity: 1},
+	{Name: "R1", Arity: 2},
+	{Name: "R2", Arity: 2},
+	{Name: "R3", Arity: 2},
+	{Name: "T1", Arity: 3},
+}
+
+// RandomUCQ generates a random small UCQ over a fixed shared schema: 1–3
+// member CQs of 1–3 atoms each, bodies mixing chained, self-joined and
+// disconnected atoms, heads of one shared arity drawn from each member's
+// variables (occasionally boolean). The shapes deliberately range over the
+// whole tractability spectrum — some unions certify free-connex and run
+// through the Theorem 12 pipeline, others fall back to the naive engine —
+// which is exactly what a cross-engine equivalence harness needs.
+func RandomUCQ(rng *rand.Rand) *cq.UCQ {
+	for {
+		if u, ok := tryRandomUCQ(rng); ok {
+			return u
+		}
+	}
+}
+
+// tryRandomUCQ makes one attempt; it reports failure instead of fighting
+// the (rare) draws whose members cannot share a head arity.
+func tryRandomUCQ(rng *rand.Rand) (*cq.UCQ, bool) {
+	nCQ := 1 + rng.Intn(3)
+	bodies := make([][]cq.Atom, nCQ)
+	vars := make([][]cq.Variable, nCQ)
+	minVars := -1
+	for i := range bodies {
+		bodies[i], vars[i] = randomBody(rng)
+		if minVars < 0 || len(vars[i]) < minVars {
+			minVars = len(vars[i])
+		}
+	}
+
+	// All heads share one arity; 1 in 8 unions is boolean.
+	maxArity := minVars
+	if maxArity > 3 {
+		maxArity = 3
+	}
+	arity := 0
+	if rng.Intn(8) != 0 {
+		if maxArity == 0 {
+			return nil, false
+		}
+		arity = 1 + rng.Intn(maxArity)
+	}
+
+	cqs := make([]*cq.CQ, nCQ)
+	for i := range cqs {
+		head := make([]cq.Variable, arity)
+		perm := rng.Perm(len(vars[i]))
+		for j := 0; j < arity; j++ {
+			head[j] = vars[i][perm[j]]
+		}
+		q, err := cq.NewCQ(fmt.Sprintf("Q%d", i+1), head, bodies[i])
+		if err != nil {
+			return nil, false
+		}
+		cqs[i] = q
+	}
+	u, err := cq.NewUCQ(cqs...)
+	if err != nil {
+		return nil, false
+	}
+	return u, true
+}
+
+// randomBody builds 1–3 atoms over the shared pool. Each argument reuses
+// an already-introduced variable with probability ~0.6, otherwise it is
+// fresh — producing joins, repeated variables within an atom, self-joins
+// (the same relation twice) and occasionally disconnected components.
+func randomBody(rng *rand.Rand) ([]cq.Atom, []cq.Variable) {
+	nAtoms := 1 + rng.Intn(3)
+	var atoms []cq.Atom
+	var vars []cq.Variable
+	fresh := 0
+	pick := func() cq.Variable {
+		if len(vars) > 0 && rng.Intn(5) < 3 {
+			return vars[rng.Intn(len(vars))]
+		}
+		v := cq.Variable(fmt.Sprintf("v%d", fresh))
+		fresh++
+		vars = append(vars, v)
+		return v
+	}
+	for i := 0; i < nAtoms; i++ {
+		d := ucqPool[rng.Intn(len(ucqPool))]
+		args := make([]cq.Variable, d.Arity)
+		for j := range args {
+			args[j] = pick()
+		}
+		atoms = append(atoms, cq.Atom{Rel: d.Name, Vars: args})
+	}
+	return atoms, vars
+}

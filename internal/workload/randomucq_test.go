@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestRandomUCQWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	booleans := 0
+	multiCQ := 0
+	for i := 0; i < 500; i++ {
+		u := RandomUCQ(rng)
+		if err := u.Validate(); err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, u)
+		}
+		if u.Arity() == 0 {
+			booleans++
+		}
+		if len(u.CQs) > 1 {
+			multiCQ++
+		}
+		// The rendered form must round-trip through the parser — the
+		// property the server's cache-key normalization relies on.
+		re, err := cq.Parse(u.String())
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v\n%s", i, err, u)
+		}
+		if re.String() != u.String() {
+			t.Fatalf("case %d: round trip changed the query:\n%s\n%s", i, u, re)
+		}
+	}
+	// The generator must actually cover the interesting regions.
+	if booleans == 0 {
+		t.Error("no boolean unions generated")
+	}
+	if multiCQ == 0 {
+		t.Error("no multi-CQ unions generated")
+	}
+}
+
+func TestRandomUCQDeterministic(t *testing.T) {
+	a := RandomUCQ(rand.New(rand.NewSource(7)))
+	b := RandomUCQ(rand.New(rand.NewSource(7)))
+	if a.String() != b.String() {
+		t.Errorf("same seed, different queries:\n%s\n%s", a, b)
+	}
+}

@@ -2,8 +2,10 @@ package ucq
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -37,6 +39,9 @@ func ReadRelationCSV(r io.Reader, name string) (*Relation, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ucq: %s line %d: %v", name, line, err)
 			}
+			if v > database.MaxPayload || v < database.MinPayload {
+				return nil, fmt.Errorf("ucq: %s line %d: value %d outside the %d-bit payload range", name, line, v, 56)
+			}
 			vals = append(vals, v)
 		}
 		if len(vals) == 0 {
@@ -57,6 +62,80 @@ func ReadRelationCSV(r io.Reader, name string) (*Relation, error) {
 		return nil, fmt.Errorf("ucq: relation %s has no rows; arity unknown", name)
 	}
 	return rel, nil
+}
+
+// InstanceFromRows builds an instance from a map of relation name to
+// integer rows — the request wire format of the streaming server. Every
+// relation must have at least one row (the arity is fixed by the first)
+// and all rows of a relation must share that arity.
+func InstanceFromRows(rels map[string][][]int64) (*Instance, error) {
+	inst := database.NewInstance()
+	// Deterministic order so error messages are stable.
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := rels[name]
+		if name == "" {
+			return nil, fmt.Errorf("ucq: relation with empty name")
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("ucq: relation %s has no rows; arity unknown", name)
+		}
+		if len(rows[0]) == 0 {
+			return nil, fmt.Errorf("ucq: relation %s has an empty first row; arity unknown", name)
+		}
+		rel := database.NewRelation(name, len(rows[0]))
+		for i, row := range rows {
+			if len(row) != rel.Arity() {
+				return nil, fmt.Errorf("ucq: %s row %d: %d values, expected %d", name, i, len(row), rel.Arity())
+			}
+			for _, v := range row {
+				if v > database.MaxPayload || v < database.MinPayload {
+					return nil, fmt.Errorf("ucq: %s row %d: value %d outside the %d-bit payload range", name, i, v, 56)
+				}
+			}
+			rel.AppendInts(row...)
+		}
+		inst.AddRelation(rel)
+	}
+	return inst, nil
+}
+
+// ReadInstanceJSON decodes a JSON object mapping relation names to integer
+// rows, e.g. {"R": [[1,2],[3,4]], "S": [[2,5]]}, into an instance.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var rels map[string][][]int64
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rels); err != nil {
+		return nil, fmt.Errorf("ucq: decoding instance JSON: %v", err)
+	}
+	return InstanceFromRows(rels)
+}
+
+// AppendTupleJSON appends the tuple rendered as a JSON array to dst and
+// returns the extended slice — the per-answer NDJSON codec of the
+// streaming server, allocation-free once dst has capacity. Untagged values
+// render as numbers; tagged values as "payload#tag" strings.
+func AppendTupleJSON(dst []byte, t Tuple) []byte {
+	dst = append(dst, '[')
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if v.Tag() == 0 {
+			dst = strconv.AppendInt(dst, v.Payload(), 10)
+		} else {
+			dst = append(dst, '"')
+			dst = strconv.AppendInt(dst, v.Payload(), 10)
+			dst = append(dst, '#')
+			dst = strconv.AppendInt(dst, int64(v.Tag()), 10)
+			dst = append(dst, '"')
+		}
+	}
+	return append(dst, ']')
 }
 
 // WriteRelationCSV writes the relation as comma-separated rows in sorted

@@ -117,11 +117,36 @@ type Plan struct {
 	shards   int
 }
 
-// NewPlan prepares the evaluation of u over inst: it removes redundant
-// (contained) CQs, searches for a free-connexity certificate and builds
-// the Theorem 12 pipeline, falling back to the naive evaluator when no
-// certificate is found (unless RequireConstantDelay is set).
-func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
+// PreparedQuery is the instance-independent half of a plan: the outcome of
+// option validation, containment-based redundancy removal and the
+// free-connexity certificate search. All of it depends only on the query
+// (and the preparation options), never on the data, so a PreparedQuery can
+// be built once and bound to many instances — this is what a long-lived
+// server caches per (query, schema) to amortize the Theorem 12 certificate
+// search across requests, while the per-instance preprocessing happens in
+// Bind.
+//
+// A PreparedQuery is immutable after Prepare returns and is safe for
+// concurrent use: Bind and BindExec may be called from any number of
+// goroutines simultaneously.
+type PreparedQuery struct {
+	// Query is the union as given to Prepare.
+	Query *UCQ
+	// Evaluated is the non-redundant union actually planned.
+	Evaluated *UCQ
+	// Mode states the strategy bindings of this query will use.
+	Mode Mode
+	// Cert is the free-connexity certificate (ConstantDelay mode only).
+	Cert *Certificate
+
+	opts PlanOptions
+}
+
+// Prepare runs the instance-independent part of planning: it validates the
+// query and options, removes redundant (contained) CQs, and searches for a
+// free-connexity certificate, deciding between constant-delay and naive
+// evaluation. The result is bound to concrete instances with Bind.
+func Prepare(u *UCQ, opts *PlanOptions) (*PreparedQuery, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,29 +160,68 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 	if !opts.KeepRedundant {
 		work = homomorphism.RemoveRedundant(u)
 	}
-	p := &Plan{Query: u, Evaluated: work, inst: inst, parallel: opts.Parallel, batch: opts.ParallelBatch, shards: opts.Shards}
+	pq := &PreparedQuery{Query: u, Evaluated: work, Mode: Naive, opts: *opts}
 	if !opts.ForceNaive {
 		if cert, ok := core.FindCertificate(work, opts.Search); ok {
-			up, err := core.NewUnionPlan(work, cert, inst)
-			if err != nil {
-				return nil, err
-			}
-			if opts.Shards > 0 {
-				if err := up.PrepareShards(opts.Shards); err != nil {
-					return nil, err
-				}
-			}
-			p.Mode = ConstantDelay
-			p.Cert = cert
-			p.union = up
-			return p, nil
+			pq.Mode = ConstantDelay
+			pq.Cert = cert
+			return pq, nil
 		}
 	}
 	if opts.RequireConstantDelay {
 		return nil, fmt.Errorf("ucq: no free-connexity certificate found and constant delay was required")
 	}
+	return pq, nil
+}
+
+// Bind attaches the prepared query to an instance, running the per-instance
+// Theorem 12 preprocessing (constant-delay mode) or validating the schema
+// (naive mode). The execution options given at Prepare time apply.
+func (pq *PreparedQuery) Bind(inst *Instance) (*Plan, error) {
+	return pq.BindExec(inst, nil)
+}
+
+// BindExec is Bind with per-binding execution options: Parallel,
+// ParallelBatch and Shards are taken from exec instead of the Prepare-time
+// options, so one cached PreparedQuery can serve requests that differ only
+// in execution strategy. Fields of exec that shape preparation (ForceNaive,
+// RequireConstantDelay, KeepRedundant, Search) are fixed at Prepare time
+// and ignored here. A nil exec reuses the Prepare-time options unchanged.
+func (pq *PreparedQuery) BindExec(inst *Instance, exec *PlanOptions) (*Plan, error) {
+	opts := pq.opts
+	if exec != nil {
+		if err := exec.validate(); err != nil {
+			return nil, err
+		}
+		opts.Parallel = exec.Parallel
+		opts.ParallelBatch = exec.ParallelBatch
+		opts.Shards = exec.Shards
+	}
+	p := &Plan{
+		Query:     pq.Query,
+		Evaluated: pq.Evaluated,
+		Mode:      pq.Mode,
+		Cert:      pq.Cert,
+		inst:      inst,
+		parallel:  opts.Parallel,
+		batch:     opts.ParallelBatch,
+		shards:    opts.Shards,
+	}
+	if pq.Mode == ConstantDelay {
+		up, err := core.NewUnionPlan(pq.Evaluated, pq.Cert, inst)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Shards > 0 {
+			if err := up.PrepareShards(opts.Shards); err != nil {
+				return nil, err
+			}
+		}
+		p.union = up
+		return p, nil
+	}
 	// Validate relations up front so Iterator can't fail later.
-	for _, d := range u.Schema() {
+	for _, d := range pq.Query.Schema() {
 		r := inst.Relation(d.Name)
 		if r == nil {
 			return nil, fmt.Errorf("ucq: no relation %q in the instance", d.Name)
@@ -166,8 +230,21 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 			return nil, fmt.Errorf("ucq: relation %q has arity %d, query uses %d", d.Name, r.Arity(), d.Arity)
 		}
 	}
-	p.Mode = Naive
 	return p, nil
+}
+
+// NewPlan prepares the evaluation of u over inst: it removes redundant
+// (contained) CQs, searches for a free-connexity certificate and builds
+// the Theorem 12 pipeline, falling back to the naive evaluator when no
+// certificate is found (unless RequireConstantDelay is set). It is
+// Prepare followed by Bind; callers evaluating one query over many
+// instances should call Prepare once and Bind per instance.
+func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
+	pq, err := Prepare(u, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Bind(inst)
 }
 
 // Iterator returns a fresh duplicate-free stream of the union's answers.
