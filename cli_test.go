@@ -1,6 +1,8 @@
 package ucq
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -9,6 +11,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -181,5 +184,115 @@ func TestServeSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("request %d: response missing trailer %s:\n%s", i, want, out)
 		}
+	}
+}
+
+// TestServeGracefulShutdown builds and runs ucq-serve, opens a streaming
+// request over a large instance, and sends SIGTERM mid-stream: the server
+// must cancel the in-flight enumeration through the context plumbing (the
+// stream ends without a trailer) and exit promptly instead of waiting out
+// the full enumeration. Skipped in -short mode.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server shutdown e2e shells out to the Go toolchain")
+	}
+	bin := filepath.Join(t.TempDir(), "ucq-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/ucq-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build ucq-serve: %v\n%s", err, out)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 150; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("ucq-serve did not become ready")
+	}
+
+	// A 1.44M-answer star join: plenty of stream left when the signal
+	// lands.
+	const side = 1200
+	rels := map[string][][]int64{"R": {}, "S": {}}
+	for i := int64(0); i < side; i++ {
+		rels["R"] = append(rels["R"], []int64{i, 0})
+		rels["S"] = append(rels["S"], []int64{0, i})
+	}
+	body, err := json.Marshal(map[string]any{
+		"query":     "Q(x,z,y) <- R(x,z), S(z,y).",
+		"relations": rels,
+		"options":   map[string]any{"parallel": true, "workers": 4, "batch": 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("first answer: %v", err)
+	}
+	if strings.HasPrefix(first, "{") {
+		t.Fatalf("first line is a trailer, stream finished too fast: %s", first)
+	}
+
+	// Signal mid-stream; the server must go down well before the full
+	// enumeration could stream out.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+
+	// The in-flight stream is cancelled: it ends (EOF or reset) without
+	// the done trailer.
+	sawTrailer := false
+	lines := 1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		lines++
+		if strings.HasPrefix(line, "{") && strings.Contains(line, `"done":true`) {
+			sawTrailer = true
+		}
+	}
+	if sawTrailer {
+		t.Errorf("cancelled stream still delivered a completion trailer after %d lines", lines)
+	}
+	if lines >= side*side/2 {
+		t.Errorf("stream delivered %d answers after SIGTERM (of %d total)", lines, side*side)
+	}
+
+	select {
+	case <-exited:
+		// Graceful exit, stream cancelled: done.
+	case <-time.After(15 * time.Second):
+		t.Fatal("ucq-serve did not exit within 15s of SIGTERM")
 	}
 }

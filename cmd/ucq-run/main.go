@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel] [-shards N]
+//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel] [-shards N] [-workers N]
 //
 // CSV rows are comma/space/semicolon-separated integers; '#' starts a
 // comment line.
@@ -45,6 +45,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "drain union branches concurrently (answer order nondeterministic)")
 	batch := flag.Int("batch", 0, "parallel batch size per worker (0 = default)")
 	shards := flag.Int("shards", 0, "hash-partition each branch across N shards (requires -parallel; 0 = off)")
+	workers := flag.Int("workers", 0, "work-stealing executor pool size (requires -parallel; 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -79,6 +80,7 @@ func main() {
 		Parallel:      *parallel,
 		ParallelBatch: *batch,
 		Shards:        *shards,
+		Workers:       *workers,
 	}
 	plan, err := ucq.NewPlan(u, inst, opts)
 	if err != nil {

@@ -13,8 +13,13 @@
 //	POST /query   evaluate a UCQ over the instance in the request body and
 //	              stream the answers as NDJSON (final line is a trailer
 //	              object with the count, engine mode and cache state)
-//	GET  /stats   cache and delay counters as JSON
+//	GET  /stats   cache, delay and cancellation counters as JSON
 //	GET  /healthz liveness probe
+//
+// Cancellation is end to end: a client disconnect mid-stream cancels the
+// request context, which stops the enumeration's work-stealing executor
+// and frees its workers. SIGINT/SIGTERM triggers a graceful shutdown that
+// cancels all in-flight streams the same way before the listener drains.
 //
 // Example:
 //
@@ -29,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
@@ -49,14 +55,21 @@ func main() {
 		FlushEvery:   *flushEvery,
 		MaxBodyBytes: *maxBody,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Request contexts derive from ctx through BaseContext, so the first
+	// SIGINT/SIGTERM cancels every in-flight stream: the handler's context
+	// plumbing stops the enumeration executors, the streams end without a
+	// trailer, and Shutdown below then completes promptly instead of
+	// waiting out long-running enumerations.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -68,11 +81,12 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("ucq-serve: %v", err)
 	case <-ctx.Done():
-		log.Printf("ucq-serve: shutting down")
+		log.Printf("ucq-serve: shutting down (in-flight streams cancelled)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("ucq-serve: shutdown: %v", err)
 		}
+		log.Printf("ucq-serve: bye")
 	}
 }

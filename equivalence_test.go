@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/baseline"
+	"repro/internal/fd"
 	"repro/internal/workload"
 )
 
@@ -68,9 +70,13 @@ func TestCrossEngineEquivalence(t *testing.T) {
 			{"sequential", nil},
 			{"parallel", &PlanOptions{Parallel: true}},
 			{"parallel-batch2", &PlanOptions{Parallel: true, ParallelBatch: 2}},
+			// Multi-worker executors with tiny batches maximise steal and
+			// re-split traffic through the work-stealing pool.
+			{"parallel-workers4", &PlanOptions{Parallel: true, Workers: 4, ParallelBatch: 2}},
 			{"sharded-1", &PlanOptions{Parallel: true, Shards: 1}},
 			{"sharded-2", &PlanOptions{Parallel: true, Shards: 2}},
 			{"sharded-8", &PlanOptions{Parallel: true, Shards: 8}},
+			{"sharded-2-workers4", &PlanOptions{Parallel: true, Shards: 2, Workers: 4, ParallelBatch: 2}},
 		}
 		for _, e := range execs {
 			p, err := pq.BindExec(inst, e.opts)
@@ -91,6 +97,77 @@ func TestCrossEngineEquivalence(t *testing.T) {
 	}
 	t.Logf("cross-engine equivalence: %d cases, %d constant-delay, %d naive-only",
 		cases, constantDelay, cases-constantDelay)
+}
+
+// TestCrossEngineEquivalenceFDs is the FD-aware arm of the cross-engine
+// harness (Remark 2 / fd.go): over seeded random unions it draws random
+// functional dependencies, repairs the instance to satisfy them, and for
+// every member CQ whose FD-extension is free-connex checks that
+// enumeration through the extension returns exactly the naive evaluator's
+// answer set. Cases where the extension strictly widens the head exercise
+// the free-closure machinery for real: without the FDs those queries could
+// not take the constant-delay route.
+func TestCrossEngineEquivalenceFDs(t *testing.T) {
+	const cases = 150
+	rng := rand.New(rand.NewSource(20260728))
+	enumerated, widened := 0, 0
+	for i := 0; i < cases; i++ {
+		u := workload.RandomUCQ(rng)
+		fds := fd.RandomSet(rng, u)
+		if len(fds.All()) == 0 {
+			continue
+		}
+		rows := 8 + rng.Intn(20)
+		width := int64(2 + rng.Intn(5))
+		inst := fds.Enforce(workload.RandomForQuery(u, rows, width, rng.Int63()))
+		if err := fds.Holds(inst); err != nil {
+			t.Fatalf("case %d: EnforceFDs left a violation: %v", i, err)
+		}
+		for _, q := range u.CQs {
+			ext, ok := ClassifyCQWithFDs(q, fds)
+			if !ok {
+				continue
+			}
+			if len(ext.Head) > len(q.Head) {
+				widened++
+			}
+			it, err := EnumerateCQWithFDs(q, fds, inst)
+			if err != nil {
+				t.Fatalf("case %d: EnumerateCQWithFDs(%s): %v", i, q, err)
+			}
+			var got []string
+			for {
+				tup, ok := it.Next()
+				if !ok {
+					break
+				}
+				got = append(got, tup.String())
+			}
+			sort.Strings(got)
+			for k := 1; k < len(got); k++ {
+				if got[k] == got[k-1] {
+					t.Fatalf("case %d: FD enumeration of %s emitted duplicate %s", i, q, got[k])
+				}
+			}
+			wantRel, err := baseline.EvalCQ(q, inst)
+			if err != nil {
+				t.Fatalf("case %d: naive eval of %s: %v", i, q, err)
+			}
+			var want []string
+			for _, row := range wantRel.SortedRows() {
+				want = append(want, row.String())
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("case %d: FD enumeration of %s disagrees with naive\nfds: %v\ngot:  %v\nwant: %v",
+					i, q, fds.All(), got, want)
+			}
+			enumerated++
+		}
+	}
+	if enumerated == 0 {
+		t.Error("no case took the FD-extension route; generator or classifier regressed")
+	}
+	t.Logf("FD arm: %d member CQs enumerated through FD-extensions, %d with strictly widened heads", enumerated, widened)
 }
 
 // TestCrossEngineEquivalenceBooleanAndEmpty pins the edge cases the random

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/cq"
@@ -74,6 +76,14 @@ func (p *UnionPlan) Stats() UnionStats { return p.stats }
 // virtual relations, bonus answers, per-CQ engine plans — lives in the
 // returned UnionPlan.
 func NewUnionPlan(u *cq.UCQ, cert *Certificate, inst *database.Instance) (*UnionPlan, error) {
+	return NewUnionPlanCtx(context.Background(), u, cert, inst)
+}
+
+// NewUnionPlanCtx is NewUnionPlan with cancellation: the per-extension
+// preprocessing (provider runs, virtual-relation instantiation, CDY
+// preparation) checks ctx between extensions and aborts with ctx's error
+// when the caller — typically a disconnected client — has gone away.
+func NewUnionPlanCtx(ctx context.Context, u *cq.UCQ, cert *Certificate, inst *database.Instance) (*UnionPlan, error) {
 	if err := cert.Verify(u); err != nil {
 		return nil, err
 	}
@@ -85,6 +95,9 @@ func NewUnionPlan(u *cq.UCQ, cert *Certificate, inst *database.Instance) (*Union
 		estimate: -1,
 	}
 	for _, e := range cert.Extensions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		extInst, err := p.resolve(e)
 		if err != nil {
 			return nil, err
@@ -211,8 +224,26 @@ func (p *UnionPlan) Iterator() enumeration.Iterator {
 	return enumeration.NewCheater(enumeration.NewChain(p.branches()...), p.m)
 }
 
+// ExecOptions tunes a parallel (executor-backed) enumeration of a union
+// plan.
+type ExecOptions struct {
+	// BatchSize is the per-task batch size; ≤ 0 selects the default.
+	BatchSize int
+	// Workers bounds the work-stealing executor's pool; ≤ 0 selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// resolveWorkers maps the option onto a concrete pool size.
+func (o ExecOptions) resolveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // IteratorParallel returns a fresh duplicate-free iterator that drains the
-// union's branches concurrently, one worker goroutine per branch, merging
+// union's branches concurrently on the work-stealing executor, merging
 // through a shared dedup set. The answer set is identical to Iterator's;
 // the order is nondeterministic. The constant-delay guarantee is traded for
 // throughput: answers arrive as fast as the slowest lock-free batch merge,
@@ -221,10 +252,28 @@ func (p *UnionPlan) Iterator() enumeration.Iterator {
 // The returned union must be drained to exhaustion or Closed; see
 // enumeration.ParallelUnion.
 func (p *UnionPlan) IteratorParallel(batchSize int) *enumeration.ParallelUnion {
-	return enumeration.NewParallelUnionOpts(p.U.Arity(), enumeration.UnionOptions{
-		BatchSize: batchSize,
-		SizeHint:  p.sizeHint(),
-	}, p.branches()...)
+	return p.IteratorParallelCtx(context.Background(), ExecOptions{BatchSize: batchSize})
+}
+
+// IteratorParallelCtx is the full parallel entry point: every member plan
+// is cut into root-range tasks that the executor steals and re-splits, so
+// a single heavy CQ branch decomposes across opts.Workers workers instead
+// of serialising on one goroutine. Cancelling ctx releases the workers
+// within one batch, whether or not the stream is Closed. When the union
+// has a single member and no bonus answers, the root-range task streams
+// are pairwise disjoint and the merge skips deduplication entirely.
+func (p *UnionPlan) IteratorParallelCtx(ctx context.Context, opts ExecOptions) *enumeration.ParallelUnion {
+	workers := opts.resolveWorkers()
+	tasks, disjoint := p.execTasks(workers)
+	uo := enumeration.UnionOptions{
+		BatchSize: opts.BatchSize,
+		Workers:   workers,
+		Disjoint:  disjoint,
+	}
+	if !disjoint {
+		uo.SizeHint = p.sizeHint()
+	}
+	return enumeration.NewParallelUnionTasks(ctx, p.U.Arity(), uo, tasks)
 }
 
 // sizeHint lazily computes and caches the union's summed branch cardinality

@@ -15,6 +15,7 @@ package core
 // sharded enumeration beats the per-branch merge even on a single core.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -79,12 +80,25 @@ func (p *UnionPlan) PrepareShards(n int) error {
 func (p *UnionPlan) ShardedDisjoint() bool { return p.shardDisjoint }
 
 // IteratorParallelSharded returns a fresh duplicate-free iterator over the
-// union's answers in which every sharded extension contributes one branch
-// per shard to the parallel merge, pre-sized from the shards' summed
-// cardinality estimates. PrepareShards must have been called. The answer
-// set is identical to Iterator's; the order is nondeterministic. The
-// returned union must be drained to exhaustion or Closed.
+// union's answers in which every sharded extension contributes its shard
+// plans as executor tasks, pre-sized from the shards' summed cardinality
+// estimates. PrepareShards must have been called. The answer set is
+// identical to Iterator's; the order is nondeterministic. The returned
+// union must be drained to exhaustion or Closed.
 func (p *UnionPlan) IteratorParallelSharded(batchSize int) (*enumeration.ParallelUnion, error) {
+	return p.IteratorParallelShardedCtx(context.Background(), ExecOptions{BatchSize: batchSize})
+}
+
+// IteratorParallelShardedCtx is the sharded enumeration on the
+// work-stealing executor: every shard plan is further cut into root-range
+// tasks, and a heavy shard — one whose keys produce most of the output —
+// re-splits when stolen instead of serialising on a single worker (the
+// output-skew regime input-balance sharding cannot see). Cancelling ctx
+// releases the workers within one batch. Shard-level disjointness (head
+// partition variable) is preserved by root-range splitting, so the merge
+// still skips deduplication when PrepareShards proved the streams
+// disjoint.
+func (p *UnionPlan) IteratorParallelShardedCtx(ctx context.Context, opts ExecOptions) (*enumeration.ParallelUnion, error) {
 	if p.shardN == 0 {
 		return nil, fmt.Errorf("core: IteratorParallelSharded before PrepareShards")
 	}
@@ -92,28 +106,16 @@ func (p *UnionPlan) IteratorParallelSharded(batchSize int) (*enumeration.Paralle
 	if hint > enumeration.MaxSizeHint {
 		hint = enumeration.MaxSizeHint
 	}
-	var branches []enumeration.Iterator
-	if len(p.bonus) > 0 {
-		branches = append(branches, enumeration.NewSliceIterator(p.bonus))
-	}
-	for i, pl := range p.plans {
-		sp := p.shardPlans[i]
-		if sp == nil {
-			branches = append(branches, &headIterator{it: pl.Iterator()})
-			continue
-		}
-		// One branch per shard, spliced straight into the shared merge
-		// (shard.ShardedIterator offers the same fan-out as a standalone
-		// stream; here the union's own merge plays that role).
-		for _, s := range sp {
-			branches = append(branches, &headIterator{it: s.Iterator()})
-		}
-	}
-	return enumeration.NewParallelUnionOpts(p.U.Arity(), enumeration.UnionOptions{
-		BatchSize: batchSize,
-		SizeHint:  int(hint),
+	workers := opts.resolveWorkers()
+	uo := enumeration.UnionOptions{
+		BatchSize: opts.BatchSize,
+		Workers:   workers,
 		Disjoint:  p.shardDisjoint,
-	}, branches...), nil
+	}
+	if !p.shardDisjoint {
+		uo.SizeHint = int(hint)
+	}
+	return enumeration.NewParallelUnionTasks(ctx, p.U.Arity(), uo, p.shardedExecTasks(workers)), nil
 }
 
 // ExplainShards renders the prepared sharding: per extension, the partition

@@ -1,0 +1,70 @@
+package enumeration
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/database"
+)
+
+// slowInfinite yields an endless stream so the wrapped ParallelUnion's
+// workers only exit when released.
+type slowInfinite struct{ i int64 }
+
+func (s *slowInfinite) Next() (database.Tuple, bool) {
+	s.i++
+	return database.Tuple{database.V(s.i)}, true
+}
+
+// TestCloseForwardsThroughWrappers pins the wrapper contract: closing the
+// outermost iterator of a Chain / Cheater / AlgorithmOne stack releases a
+// parallel union nested anywhere inside it. Before Close forwarding,
+// CloseAnswers only saw the outermost Close and the nested workers leaked.
+func TestCloseForwardsThroughWrappers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	builds := []struct {
+		name string
+		make func(inner Iterator) Iterator
+	}{
+		{"chain", func(inner Iterator) Iterator {
+			return NewChain(NewSliceIterator(nil), inner)
+		}},
+		{"cheater", func(inner Iterator) Iterator {
+			return NewCheater(inner, 2)
+		}},
+		{"cheater-of-chain", func(inner Iterator) Iterator {
+			return NewCheater(NewChain(inner, NewSliceIterator(nil)), 2)
+		}},
+		{"algorithm-one", func(inner Iterator) Iterator {
+			return NewAlgorithmOne(inner, nopTestable{})
+		}},
+	}
+	for _, b := range builds {
+		inner := NewParallelUnion(1, 4, &slowInfinite{})
+		it := b.make(inner)
+		if _, ok := it.Next(); !ok {
+			t.Fatalf("%s: no first answer", b.name)
+		}
+		CloseIterator(it)
+		if _, ok := inner.Next(); ok {
+			t.Errorf("%s: nested union still live after outer Close", b.name)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("nested workers leaked: %d goroutines vs %d at baseline",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// nopTestable is an empty Q2 stream for the AlgorithmOne wrapper.
+type nopTestable struct{}
+
+func (nopTestable) Next() (database.Tuple, bool) { return nil, false }
+func (nopTestable) Contains(database.Tuple) bool { return false }

@@ -59,6 +59,24 @@ func (s *SliceIterator) NextBatch(buf []database.Value, max int) ([]database.Val
 	return buf, n
 }
 
+// Closer is an iterator holding releasable resources (worker goroutines,
+// typically). CloseIterator releases any iterator; wrapper iterators
+// (Chain, Cheater, AlgorithmOne) forward Close to their members so a
+// parallel stream nested inside a combinator is still released when the
+// outermost iterator is closed.
+type Closer interface {
+	Close()
+}
+
+// CloseIterator releases the resources behind an iterator, if any: it is
+// safe to call on any iterator, and a no-op on those without background
+// workers.
+func CloseIterator(it Iterator) {
+	if c, ok := it.(Closer); ok {
+		c.Close()
+	}
+}
+
 // Func adapts a function to the Iterator interface.
 type Func func() (database.Tuple, bool)
 
@@ -101,6 +119,15 @@ func (c *Chain) NextBatch(buf []database.Value, max int) ([]database.Value, int)
 		}
 	}
 	return buf, total
+}
+
+// Close releases every member iterator, including the ones not yet
+// reached: abandoning a chain must not leak the workers of a parallel
+// member scheduled after the abandonment point.
+func (c *Chain) Close() {
+	for _, it := range c.its {
+		CloseIterator(it)
+	}
 }
 
 // BatchIterator is an Iterator with a batched fast path, letting consumers
@@ -227,6 +254,9 @@ func (c *Cheater) pop() {
 	}
 }
 
+// Close releases the inner iterator's resources.
+func (c *Cheater) Close() { CloseIterator(c.inner) }
+
 // Pending returns the number of buffered fresh results not yet emitted.
 func (c *Cheater) Pending() int { return len(c.queue) - c.head }
 
@@ -278,6 +308,12 @@ func (a *AlgorithmOne) Next() (database.Tuple, bool) {
 		a.skipped++
 	}
 	return a.q2.Next()
+}
+
+// Close releases both underlying iterators' resources.
+func (a *AlgorithmOne) Close() {
+	CloseIterator(a.q1)
+	CloseIterator(a.q2)
 }
 
 // Skipped returns how often the defensive branch fired: Q1 answers that

@@ -1,21 +1,16 @@
 package enumeration
 
 import (
-	"sync"
+	"context"
 
 	"repro/internal/database"
+	"repro/internal/exec"
 )
 
 // DefaultBatchSize is the per-worker batch size used when a caller passes a
 // non-positive size: large enough to amortize channel synchronization, small
 // enough to keep answers flowing early.
-const DefaultBatchSize = 256
-
-// batch carries n answers' values, flat, from a branch worker to the merge.
-type batch struct {
-	vals []database.Value
-	n    int
-}
+const DefaultBatchSize = exec.DefaultBatchSize
 
 // MaxSizeHint caps the dedup pre-sizing a UnionOptions.SizeHint may ask
 // for, bounding the up-front slot-table allocation (a hint is advisory; the
@@ -38,37 +33,41 @@ type UnionOptions struct {
 	SizeHint int
 	// Disjoint promises that the branches are pairwise disjoint and
 	// individually duplicate-free (e.g. shards of a single CQ partitioned
-	// on a head variable). The merge then skips deduplication entirely:
-	// answers pass straight from the branch batches to the consumer, and
-	// returned tuples are stable views into the batch buffers.
+	// on a head variable, or root-range splits of one CDY plan). The merge
+	// then skips deduplication entirely: answers pass straight from the
+	// branch batches to the consumer, and returned tuples are stable views
+	// into the batch buffers.
 	Disjoint bool
+	// Workers bounds the executor's worker pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
 }
 
-// ParallelUnion enumerates the union of several branch iterators with
-// global deduplication, draining every branch in its own goroutine. Workers
-// pull answers in batches (through the BatchIterator fast path when the
-// branch has one) and feed a bounded channel; the consuming side merges
-// batches through a shared TupleSet, so synchronization costs are paid per
-// batch while deduplication stays exact. Answer order is nondeterministic
-// across runs, but the answer set equals the sequential union's.
+// ParallelUnion enumerates the union of several branch tasks with global
+// deduplication, draining them on the work-stealing executor
+// (internal/exec): a bounded worker pool pulls answers in batches, stealing
+// and re-splitting tasks so a single heavy branch decomposes across
+// workers instead of serialising on one. The consuming side merges batches
+// through a shared TupleSet, so synchronization costs are paid per batch
+// while deduplication stays exact. Answer order is nondeterministic across
+// runs, but the answer set equals the sequential union's.
 //
 // With UnionOptions.Disjoint the dedup layer is bypassed: each branch
 // answer is emitted exactly once, which is correct precisely when the
 // branches are pairwise disjoint and duplicate-free.
 //
 // Like all iterators in this package, a ParallelUnion is single-use and its
-// Next/Close methods are not safe for concurrent use. Abandoning a
-// partially drained ParallelUnion without calling Close leaks the worker
-// goroutines; draining to exhaustion releases them automatically.
+// Next/Close methods are not safe for concurrent use. Draining to
+// exhaustion releases the workers automatically; abandoning a partially
+// drained union requires Close (or cancelling the construction context),
+// which propagates into the executor and stops every worker within one
+// batch.
 type ParallelUnion struct {
 	arity    int
 	disjoint bool
-	out      chan batch
-	free     chan []database.Value
-	done     chan struct{}
+	ex       *exec.Executor
 
 	seen *database.TupleSet
-	cur  batch
+	cur  exec.Batch
 	pos  int
 
 	closed bool
@@ -77,26 +76,40 @@ type ParallelUnion struct {
 	duplicates int
 }
 
-// NewParallelUnion starts one worker per branch iterator. arity is the
+// NewParallelUnion starts a union over branch iterators. arity is the
 // common answer arity of the branches (zero is allowed: nullary answers are
 // counted, not stored). batchSize ≤ 0 selects DefaultBatchSize.
 func NewParallelUnion(arity, batchSize int, its ...Iterator) *ParallelUnion {
 	return NewParallelUnionOpts(arity, UnionOptions{BatchSize: batchSize}, its...)
 }
 
-// NewParallelUnionOpts starts one worker per branch iterator with explicit
-// merge options.
+// NewParallelUnionOpts starts a union over branch iterators with explicit
+// merge options. Each iterator becomes one (indivisible) executor task;
+// callers with splittable work should build exec.Tasks directly and use
+// NewParallelUnionTasks.
 func NewParallelUnionOpts(arity int, opts UnionOptions, its ...Iterator) *ParallelUnion {
-	batchSize := opts.BatchSize
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
+	return NewParallelUnionCtx(context.Background(), arity, opts, its...)
+}
+
+// NewParallelUnionCtx is NewParallelUnionOpts with a cancellation context:
+// when ctx is done the executor's workers stop within one batch, whether or
+// not the consumer ever calls Close.
+func NewParallelUnionCtx(ctx context.Context, arity int, opts UnionOptions, its ...Iterator) *ParallelUnion {
+	tasks := make([]exec.Task, len(its))
+	for i, it := range its {
+		tasks[i] = TaskOf(it)
 	}
+	return NewParallelUnionTasks(ctx, arity, opts, tasks)
+}
+
+// NewParallelUnionTasks starts a union over executor tasks — the full
+// work-stealing path: tasks that implement Split (root-range slices of a
+// CDY plan) are re-split when stolen and shed work to idle workers, so
+// output skew inside one branch no longer serialises on one goroutine.
+func NewParallelUnionTasks(ctx context.Context, arity int, opts UnionOptions, tasks []exec.Task) *ParallelUnion {
 	u := &ParallelUnion{
 		arity:    arity,
 		disjoint: opts.Disjoint,
-		out:      make(chan batch, 2*len(its)),
-		free:     make(chan []database.Value, 2*len(its)+len(its)),
-		done:     make(chan struct{}),
 	}
 	if !opts.Disjoint {
 		hint := opts.SizeHint
@@ -112,39 +125,11 @@ func NewParallelUnionOpts(arity int, opts UnionOptions, its ...Iterator) *Parall
 		}
 		u.seen = database.NewTupleSetSized(hint, valueHint)
 	}
-	bufCap := batchSize * arity
-	if bufCap == 0 {
-		bufCap = 1 // non-nil buffers keep the recycle path uniform
-	}
-	var wg sync.WaitGroup
-	for _, it := range its {
-		wg.Add(1)
-		go func(it Iterator) {
-			defer wg.Done()
-			for {
-				var buf []database.Value
-				select {
-				case buf = <-u.free:
-					buf = buf[:0]
-				default:
-					buf = make([]database.Value, 0, bufCap)
-				}
-				buf, n := NextBatch(it, buf, batchSize)
-				if n == 0 {
-					return
-				}
-				select {
-				case u.out <- batch{vals: buf, n: n}:
-				case <-u.done:
-					return
-				}
-			}
-		}(it)
-	}
-	go func() {
-		wg.Wait()
-		close(u.out)
-	}()
+	u.ex = exec.Run(ctx, exec.Options{
+		Workers:   opts.Workers,
+		BatchSize: opts.BatchSize,
+		Arity:     arity,
+	}, tasks)
 	return u
 }
 
@@ -156,11 +141,11 @@ func (u *ParallelUnion) Next() (database.Tuple, bool) {
 		return nil, false
 	}
 	for {
-		for u.pos < u.cur.n {
+		for u.pos < u.cur.N {
 			var t database.Tuple
 			if u.arity > 0 {
 				off := u.pos * u.arity
-				t = database.Tuple(u.cur.vals[off : off+u.arity])
+				t = database.Tuple(u.cur.Vals[off : off+u.arity])
 			} else {
 				t = database.Tuple{}
 			}
@@ -178,16 +163,13 @@ func (u *ParallelUnion) Next() (database.Tuple, bool) {
 		// Batch fully merged into the dedup arena: recycle its buffer. In
 		// disjoint mode emitted tuples are views into the buffer, so it must
 		// stay untouched; workers then always allocate fresh buffers.
-		if u.cur.vals != nil {
+		if u.cur.Vals != nil {
 			if !u.disjoint {
-				select {
-				case u.free <- u.cur.vals:
-				default:
-				}
+				u.ex.Recycle(u.cur.Vals)
 			}
-			u.cur = batch{}
+			u.cur = exec.Batch{}
 		}
-		b, ok := <-u.out
+		b, ok := <-u.ex.C()
 		if !ok {
 			u.Close()
 			return nil, false
@@ -197,23 +179,23 @@ func (u *ParallelUnion) Next() (database.Tuple, bool) {
 	}
 }
 
-// Close releases the branch workers. It is idempotent, runs automatically
-// when the stream is drained to exhaustion, and must be called explicitly
-// when abandoning a partially drained union (e.g. after an answer limit).
+// Close releases the executor's workers, blocking until every one has
+// exited — at most one in-flight batch later. It is idempotent, runs
+// automatically when the stream is drained to exhaustion, and must be
+// called explicitly when abandoning a partially drained union (e.g. after
+// an answer limit) unless the construction context is cancelled instead.
 // After Close, Next reports exhaustion.
 func (u *ParallelUnion) Close() {
 	if u.closed {
 		return
 	}
 	u.closed = true
-	close(u.done)
-	// Drain buffered batches so the closer goroutine's wg.Wait observes
-	// every worker exit and closes out.
-	go func() {
-		for range u.out { //nolint:revive // draining to unblock workers
-		}
-	}()
+	u.ex.Close()
 }
+
+// Stats returns the underlying executor's counters (workers, tasks run,
+// steals, splits).
+func (u *ParallelUnion) Stats() exec.Stats { return u.ex.Stats() }
 
 // Pulled returns the number of branch results consumed so far.
 func (u *ParallelUnion) Pulled() int { return u.pulled }
@@ -222,9 +204,24 @@ func (u *ParallelUnion) Pulled() int { return u.pulled }
 func (u *ParallelUnion) Duplicates() int { return u.duplicates }
 
 // UnionAllParallel enumerates the union of several iterators of the given
-// answer arity with global deduplication and one worker goroutine per
-// branch; it is the concurrent counterpart of UnionAll. batchSize ≤ 0
-// selects DefaultBatchSize.
+// answer arity with global deduplication on the work-stealing executor; it
+// is the concurrent counterpart of UnionAll. batchSize ≤ 0 selects
+// DefaultBatchSize.
 func UnionAllParallel(arity, batchSize int, its ...Iterator) *ParallelUnion {
 	return NewParallelUnion(arity, batchSize, its...)
 }
+
+// iterTask adapts a plain branch iterator to the executor's Task
+// interface as one indivisible unit of work.
+type iterTask struct{ it Iterator }
+
+func (t iterTask) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	return NextBatch(t.it, buf, max)
+}
+
+func (t iterTask) Split() exec.Task { return nil }
+
+// TaskOf wraps an iterator as an indivisible executor task. Work that can
+// be divided (plan root ranges, slices) should implement exec.Task
+// directly so the executor can steal and re-split it.
+func TaskOf(it Iterator) exec.Task { return iterTask{it: it} }

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/database"
+)
+
+// rangeTask emits the values lo..hi-1 (arity 1) and splits by halving its
+// remaining range — the test double for a plan root-range slice.
+type rangeTask struct{ lo, hi int }
+
+func (t *rangeTask) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	n := 0
+	for n < max && t.lo < t.hi {
+		buf = append(buf, database.V(int64(t.lo)))
+		t.lo++
+		n++
+	}
+	return buf, n
+}
+
+func (t *rangeTask) Split() Task {
+	n := t.hi - t.lo
+	if n < 2 {
+		return nil
+	}
+	mid := t.lo + n/2
+	other := &rangeTask{lo: mid, hi: t.hi}
+	t.hi = mid
+	return other
+}
+
+// drain collects every value from the executor's batch stream.
+func drain(e *Executor) []int64 {
+	var out []int64
+	for b := range e.C() {
+		for i := 0; i < b.N; i++ {
+			out = append(out, b.Vals[i].Payload())
+		}
+		e.Recycle(b.Vals)
+	}
+	return out
+}
+
+// checkExactly asserts out is a permutation of 0..n-1.
+func checkExactly(t *testing.T, out []int64, n int) {
+	t.Helper()
+	if len(out) != n {
+		t.Fatalf("got %d values, want %d", len(out), n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d after sorting (duplicate or gap)", i, v)
+		}
+	}
+}
+
+func TestExecutorDrainsAllTasks(t *testing.T) {
+	const total = 10000
+	for _, workers := range []int{1, 2, 4, 8} {
+		tasks := []Task{}
+		for lo := 0; lo < total; lo += 1000 {
+			tasks = append(tasks, &rangeTask{lo: lo, hi: lo + 1000})
+		}
+		e := Run(context.Background(), Options{Workers: workers, BatchSize: 64, Arity: 1}, tasks)
+		checkExactly(t, drain(e), total)
+		st := e.Stats()
+		if st.Workers != workers {
+			t.Errorf("workers=%d: Stats().Workers = %d", workers, st.Workers)
+		}
+		if st.Tasks < int64(len(tasks)) {
+			t.Errorf("workers=%d: ran %d tasks, want ≥ %d", workers, st.Tasks, len(tasks))
+		}
+	}
+}
+
+func TestExecutorSplitsHeavyTask(t *testing.T) {
+	// One big splittable task and several workers: idle workers must
+	// receive shed halves (splits) and pull them from the owner's deque
+	// (steals) instead of idling while one worker drags.
+	const total = 100000
+	e := Run(context.Background(), Options{Workers: 4, BatchSize: 32, Arity: 1},
+		[]Task{&rangeTask{lo: 0, hi: total}})
+	checkExactly(t, drain(e), total)
+	st := e.Stats()
+	if st.Splits == 0 {
+		t.Errorf("no splits: heavy task was not decomposed (stats %+v)", st)
+	}
+	if st.Steals == 0 {
+		t.Errorf("no steals: shed halves were never taken (stats %+v)", st)
+	}
+	if st.Tasks != st.Splits+1 {
+		t.Errorf("tasks run = %d, want splits+1 = %d", st.Tasks, st.Splits+1)
+	}
+}
+
+func TestExecutorCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := Run(ctx, Options{Workers: 4, BatchSize: 8, Arity: 1},
+		[]Task{&rangeTask{lo: 0, hi: 1 << 30}})
+	// Consume a few batches, then abandon via context cancellation alone.
+	for i := 0; i < 3; i++ {
+		if _, ok := <-e.C(); !ok {
+			t.Fatal("stream ended prematurely")
+		}
+	}
+	cancel()
+	// Workers must exit promptly: the stream closes after at most one
+	// in-flight batch per worker.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-e.C():
+			if !ok {
+				goto closed
+			}
+		case <-deadline:
+			t.Fatal("stream did not close after cancellation")
+		}
+	}
+closed:
+	waitGoroutines(t, before)
+}
+
+func TestExecutorCloseIsIdempotentAndUnblocksWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := Run(context.Background(), Options{Workers: 4, BatchSize: 8, Arity: 1},
+		[]Task{&rangeTask{lo: 0, hi: 1 << 30}})
+	if _, ok := <-e.C(); !ok {
+		t.Fatal("no first batch")
+	}
+	// Workers are now blocked on the full out channel; Close must release
+	// them all and return.
+	e.Close()
+	e.Close()
+	waitGoroutines(t, before)
+}
+
+func TestExecutorEmptyAndNullary(t *testing.T) {
+	// No tasks: the stream closes immediately.
+	e := Run(context.Background(), Options{Workers: 2, Arity: 1}, nil)
+	if got := drain(e); len(got) != 0 {
+		t.Fatalf("empty executor produced %d values", len(got))
+	}
+	// Nullary answers are counted, not stored.
+	e = Run(context.Background(), Options{Workers: 2, BatchSize: 4, Arity: 0},
+		[]Task{nullaryTask{n: new(int)}})
+	count := 0
+	for b := range e.C() {
+		count += b.N
+	}
+	if count != 10 {
+		t.Fatalf("nullary count = %d, want 10", count)
+	}
+}
+
+// nullaryTask emits 10 zero-arity answers.
+type nullaryTask struct{ n *int }
+
+func (t nullaryTask) NextBatch(buf []database.Value, max int) ([]database.Value, int) {
+	n := 0
+	for n < max && *t.n < 10 {
+		*t.n++
+		n++
+	}
+	return buf, n
+}
+
+func (t nullaryTask) Split() Task { return nil }
+
+// waitGoroutines polls until the goroutine count returns to the baseline
+// (with a small slack for runtime helpers).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d before", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

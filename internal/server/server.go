@@ -81,13 +81,14 @@ func (s *Server) Handler() http.Handler {
 // GET /stats serves.
 func (s *Server) StatsSnapshot() Snapshot {
 	return Snapshot{
-		Requests:         s.stats.requests.Load(),
-		Errors:           s.stats.errors.Load(),
-		AnswersStreamed:  s.stats.answersStreamed.Load(),
-		StreamsCompleted: s.stats.streamsCompleted.Load(),
-		PlansPrepared:    s.stats.plansPrepared.Load(),
-		Cache:            s.cache.Stats(),
-		Delays:           s.stats.delays(),
+		Requests:          s.stats.requests.Load(),
+		Errors:            s.stats.errors.Load(),
+		AnswersStreamed:   s.stats.answersStreamed.Load(),
+		StreamsCompleted:  s.stats.streamsCompleted.Load(),
+		RequestsCancelled: s.stats.requestsCancelled.Load(),
+		PlansPrepared:     s.stats.plansPrepared.Load(),
+		Cache:             s.cache.Stats(),
+		Delays:            s.stats.delays(),
 	}
 }
 
@@ -146,6 +147,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Parallel:      req.Options.Parallel,
 		ParallelBatch: req.Options.Batch,
 		Shards:        req.Options.Shards,
+		Workers:       req.Options.Workers,
 	}
 	if req.Limit < 0 {
 		s.httpError(w, http.StatusBadRequest, "limit must be ≥ 0, got %d", req.Limit)
@@ -173,14 +175,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Per-instance preprocessing; execution options come from this request
-	// even when the preparation was cached by an earlier one.
-	plan, err := pq.BindExec(inst, exec)
+	// even when the preparation was cached by an earlier one. The request
+	// context rides along: a client disconnect aborts a still-running bind
+	// between extensions and, below, cancels the enumeration itself —
+	// executor workers are released instead of enumerating to completion
+	// for nobody.
+	plan, err := pq.BindExecContext(r.Context(), inst, exec)
 	if err != nil {
+		if r.Context().Err() != nil {
+			s.stats.requestsCancelled.Add(1)
+			return
+		}
 		s.planError(w, err)
 		return
 	}
 
-	s.stream(w, plan, hit, req.Limit)
+	s.stream(w, r, plan, hit, req.Limit)
 }
 
 // planError maps planning failures onto HTTP statuses: invalid option
@@ -200,7 +210,13 @@ func (s *Server) planError(w http.ResponseWriter, err error) {
 // while enumeration of the remaining answers is still running — and later
 // answers are flushed every cfg.FlushEvery lines. The final line is a
 // Trailer object.
-func (s *Server) stream(w http.ResponseWriter, plan *ucq.Plan, cacheHit bool, limit int) {
+//
+// The enumeration runs under the request context: when the client
+// disconnects mid-stream (or the server shuts down), the context cancels
+// the work-stealing executor behind a parallel plan and every worker is
+// released within one batch; the request is then counted as cancelled and
+// no trailer is written.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, cacheHit bool, limit int) {
 	cacheState := "miss"
 	if cacheHit {
 		cacheState = "hit"
@@ -211,7 +227,7 @@ func (s *Server) stream(w http.ResponseWriter, plan *ucq.Plan, cacheHit bool, li
 	w.WriteHeader(http.StatusOK)
 	flusher, canFlush := w.(http.Flusher)
 
-	it := plan.Iterator()
+	it := plan.AnswersContext(r.Context())
 	defer ucq.CloseAnswers(it)
 
 	start := time.Now()
@@ -221,6 +237,13 @@ func (s *Server) stream(w http.ResponseWriter, plan *ucq.Plan, cacheHit bool, li
 	count := 0
 	disconnected := false
 	for {
+		// Parallel streams end early on their own after cancellation; this
+		// check extends the same per-answer cancellation to sequential
+		// iterators, so a server shutdown stops even a stream whose client
+		// is still happily reading.
+		if r.Context().Err() != nil {
+			break
+		}
 		t, ok := it.Next()
 		if !ok {
 			break
@@ -254,7 +277,8 @@ func (s *Server) stream(w http.ResponseWriter, plan *ucq.Plan, cacheHit bool, li
 
 	s.stats.answersStreamed.Add(int64(count))
 	s.stats.RecordTiming(firstAnswer, maxDelay)
-	if disconnected {
+	if disconnected || r.Context().Err() != nil {
+		s.stats.requestsCancelled.Add(1)
 		return
 	}
 	_ = json.NewEncoder(w).Encode(Trailer{

@@ -25,11 +25,12 @@ type reqTiming struct {
 // Stats aggregates server counters and a bounded window of per-request
 // delay summaries. All methods are safe for concurrent use.
 type Stats struct {
-	requests         atomic.Int64
-	errors           atomic.Int64
-	answersStreamed  atomic.Int64
-	streamsCompleted atomic.Int64
-	plansPrepared    atomic.Int64
+	requests          atomic.Int64
+	errors            atomic.Int64
+	answersStreamed   atomic.Int64
+	streamsCompleted  atomic.Int64
+	requestsCancelled atomic.Int64
+	plansPrepared     atomic.Int64
 
 	mu   sync.Mutex
 	ring [delayWindow]reqTiming
@@ -63,13 +64,17 @@ type DelayPercentiles struct {
 
 // Snapshot is the GET /stats response body.
 type Snapshot struct {
-	Requests         int64            `json:"requests"`
-	Errors           int64            `json:"errors"`
-	AnswersStreamed  int64            `json:"answers_streamed"`
-	StreamsCompleted int64            `json:"streams_completed"`
-	PlansPrepared    int64            `json:"plans_prepared"`
-	Cache            CacheStats       `json:"cache"`
-	Delays           DelayPercentiles `json:"delays"`
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
+	AnswersStreamed  int64 `json:"answers_streamed"`
+	StreamsCompleted int64 `json:"streams_completed"`
+	// RequestsCancelled counts streams cut short by the client going away
+	// (context cancellation or a failed write): the enumeration was
+	// cancelled and its executor workers released without a trailer.
+	RequestsCancelled int64            `json:"requests_cancelled"`
+	PlansPrepared     int64            `json:"plans_prepared"`
+	Cache             CacheStats       `json:"cache"`
+	Delays            DelayPercentiles `json:"delays"`
 }
 
 // delays computes the percentile summary over the current window.

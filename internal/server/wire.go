@@ -29,6 +29,9 @@ type QueryOptions struct {
 	// Shards hash-partitions each branch across N shards (requires
 	// Parallel; 0 = off).
 	Shards int `json:"shards,omitempty"`
+	// Workers bounds the work-stealing executor pool for this request
+	// (requires Parallel; 0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Trailer is the final NDJSON line of a /query response — the only line

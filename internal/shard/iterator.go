@@ -60,9 +60,19 @@ func (s *ShardedIterator) Next() (database.Tuple, bool) {
 }
 
 // Close releases the shard workers of a partially drained iterator. It is
-// safe to call at any point, including before the first Next.
+// safe to call at any point, including before the first Next: a merge not
+// yet started forwards the release to the branch iterators themselves
+// (unless Branches handed them to an enclosing merge, which then owns
+// them).
 func (s *ShardedIterator) Close() {
 	if s.merged != nil {
 		s.merged.Close()
+		return
+	}
+	if s.spliced {
+		return
+	}
+	for _, b := range s.branches {
+		enumeration.CloseIterator(b)
 	}
 }

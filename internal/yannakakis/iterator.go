@@ -24,6 +24,10 @@ type Iterator struct {
 	exhausted bool
 	extended  bool
 	keyBuf    []database.Value
+	// rootLo and rootHi restrict the root position to the candidate rows
+	// [rootLo, rootHi) — the range-cursor behind Split/SplitOff. A full
+	// iterator spans [0, RootLen).
+	rootLo, rootHi int
 	// Backtracks counts DFS positions that produced no candidates; after a
 	// full reduction this stays 0 and tests assert it.
 	Backtracks int
@@ -31,12 +35,42 @@ type Iterator struct {
 
 // Iterator returns a fresh iterator over the plan's answers.
 func (p *Plan) Iterator() *Iterator {
+	return p.IteratorRange(0, p.RootLen())
+}
+
+// RootLen returns the number of candidate rows at the plan's root DFS
+// position — the domain Split and IteratorRange partition.
+func (p *Plan) RootLen() int {
+	if len(p.order) == 0 {
+		return 0
+	}
+	return p.tops[p.order[0]].rel.Len()
+}
+
+// IteratorRange returns an iterator over exactly the answers whose root
+// position binds a candidate row with index in [lo, hi). Because every
+// answer determines one row per top node (top relations are
+// duplicate-free), the ranges of a partition of [0, RootLen) yield
+// pairwise disjoint answer streams whose union is the full answer set.
+// Bounds are clamped to [0, RootLen].
+func (p *Plan) IteratorRange(lo, hi int) *Iterator {
 	n := len(p.order)
+	if lo < 0 {
+		lo = 0
+	}
+	if max := p.RootLen(); hi > max {
+		hi = max
+	}
+	if hi < lo {
+		hi = lo
+	}
 	return &Iterator{
 		plan:    p,
 		rows:    make([][]int32, n),
 		cursors: make([]int, n),
 		assign:  make([]database.Value, len(p.varName)),
+		rootLo:  lo,
+		rootHi:  hi,
 	}
 }
 
@@ -84,7 +118,9 @@ func (it *Iterator) Next() bool {
 // ancestor assignment and resets its cursor.
 func (it *Iterator) fill(k int) {
 	t := &it.plan.tops[it.plan.order[k]]
-	if t.index == nil {
+	if k == 0 {
+		it.rows[k] = rangeRows(it.rootLo, it.rootHi)
+	} else if t.index == nil {
 		it.rows[k] = allRows(t.rel)
 	} else {
 		it.keyBuf = it.keyBuf[:0]
@@ -184,9 +220,17 @@ func (it *Iterator) Extend() {
 }
 
 func allRows(r *database.Relation) []int32 {
-	out := make([]int32, r.Len())
+	return rangeRows(0, r.Len())
+}
+
+// rangeRows lists the row ids lo..hi-1.
+func rangeRows(lo, hi int) []int32 {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int32, hi-lo)
 	for i := range out {
-		out[i] = int32(i)
+		out[i] = int32(lo + i)
 	}
 	return out
 }

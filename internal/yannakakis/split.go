@@ -1,0 +1,73 @@
+package yannakakis
+
+// This file is the range-cursor API behind task-based parallel
+// enumeration: a prepared plan's answer stream is partitioned by slicing
+// the root DFS position's candidate rows into contiguous ranges, each an
+// independent resumable Iterator. Disjointness is structural: an answer
+// fixes one row per top node (top relations are duplicate-free and their
+// columns are exactly their variables), so answers from different root
+// rows are distinct and a partition of the root rows partitions the answer
+// set. A partially drained range iterator can further shed the second half
+// of its unvisited rows through SplitOff — the primitive the work-stealing
+// executor uses to decompose a heavy range adaptively.
+
+// Split partitions the plan's answers into at most parts pairwise disjoint
+// range iterators that together cover the full answer set. It returns at
+// least one iterator; fewer than parts when the root position has fewer
+// candidate rows than parts.
+func (p *Plan) Split(parts int) []*Iterator {
+	n := p.RootLen()
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return []*Iterator{p.Iterator()}
+	}
+	out := make([]*Iterator, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		out = append(out, p.IteratorRange(lo, hi))
+	}
+	return out
+}
+
+// SplitOff carves off roughly the second half of the iterator's unvisited
+// root rows into a new independent iterator, shrinking the receiver; the
+// two iterators together produce exactly the answers the receiver alone
+// would have. It returns nil when fewer than two unvisited root rows
+// remain. SplitOff must not be called concurrently with Next: the
+// executor's contract is that only the worker owning the iterator splits
+// it, between batches.
+func (it *Iterator) SplitOff() *Iterator {
+	if it.exhausted {
+		return nil
+	}
+	if !it.started {
+		n := it.rootHi - it.rootLo
+		if n < 2 {
+			return nil
+		}
+		mid := it.rootLo + n/2
+		other := it.plan.IteratorRange(mid, it.rootHi)
+		it.rootHi = mid
+		return other
+	}
+	// Started: rows[0] holds the root range [rootLo, rootHi) and
+	// cursors[0] points at the row currently being enumerated, which stays
+	// with the receiver. rows[0][i] is row id rootLo+i, so cutting the
+	// slice at index cut hands rows rootLo+cut.. to the new iterator.
+	remaining := len(it.rows[0]) - it.cursors[0] - 1
+	if remaining < 2 {
+		return nil
+	}
+	cut := it.cursors[0] + 1 + remaining/2
+	other := it.plan.IteratorRange(it.rootLo+cut, it.rootHi)
+	it.rows[0] = it.rows[0][:cut]
+	it.rootHi = it.rootLo + cut
+	return other
+}
+
+// RootRange reports the iterator's current root row range [lo, hi); the
+// range shrinks as SplitOff sheds work.
+func (it *Iterator) RootRange() (lo, hi int) { return it.rootLo, it.rootHi }

@@ -1,6 +1,7 @@
 package ucq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -61,6 +62,12 @@ type PlanOptions struct {
 	// unsharded branch when none exists. Requires Parallel. 0 disables
 	// sharding.
 	Shards int
+	// Workers bounds the work-stealing executor's worker pool for parallel
+	// plans. Enumeration work is decomposed into (plan, row-range) tasks
+	// that workers steal and re-split, so a single heavy branch or shard no
+	// longer serialises on one goroutine. 0 selects GOMAXPROCS. Requires
+	// Parallel.
+	Workers int
 }
 
 // OptionsError reports an invalid PlanOptions combination. NewPlan returns
@@ -95,6 +102,12 @@ func (o *PlanOptions) validate() error {
 	if o.ParallelBatch > 0 && !o.Parallel {
 		return &OptionsError{Field: "ParallelBatch", Reason: "batching requires Parallel"}
 	}
+	if o.Workers < 0 {
+		return &OptionsError{Field: "Workers", Reason: fmt.Sprintf("must be ≥ 0, got %d", o.Workers)}
+	}
+	if o.Workers > 0 && !o.Parallel {
+		return &OptionsError{Field: "Workers", Reason: "a worker pool requires Parallel"}
+	}
 	return nil
 }
 
@@ -115,6 +128,10 @@ type Plan struct {
 	parallel bool
 	batch    int
 	shards   int
+	workers  int
+	// ctx is the binding context from BindExecContext: the default parent
+	// for the background work of every Answers stream this plan produces.
+	ctx context.Context
 }
 
 // PreparedQuery is the instance-independent half of a plan: the outcome of
@@ -182,12 +199,26 @@ func (pq *PreparedQuery) Bind(inst *Instance) (*Plan, error) {
 }
 
 // BindExec is Bind with per-binding execution options: Parallel,
-// ParallelBatch and Shards are taken from exec instead of the Prepare-time
-// options, so one cached PreparedQuery can serve requests that differ only
-// in execution strategy. Fields of exec that shape preparation (ForceNaive,
-// RequireConstantDelay, KeepRedundant, Search) are fixed at Prepare time
-// and ignored here. A nil exec reuses the Prepare-time options unchanged.
+// ParallelBatch, Shards and Workers are taken from exec instead of the
+// Prepare-time options, so one cached PreparedQuery can serve requests that
+// differ only in execution strategy. Fields of exec that shape preparation
+// (ForceNaive, RequireConstantDelay, KeepRedundant, Search) are fixed at
+// Prepare time and ignored here. A nil exec reuses the Prepare-time options
+// unchanged.
 func (pq *PreparedQuery) BindExec(inst *Instance, exec *PlanOptions) (*Plan, error) {
+	return pq.BindExecContext(context.Background(), inst, exec)
+}
+
+// BindExecContext is BindExec with end-to-end cancellation: ctx is checked
+// during the per-instance Theorem 12 preprocessing (a cancelled bind aborts
+// between extensions with ctx's error) and becomes the default parent
+// context of every Answers stream the plan produces — cancelling it
+// releases the executor workers behind Iterator's streams, whether or not
+// CloseAnswers is called. A nil ctx means context.Background().
+func (pq *PreparedQuery) BindExecContext(ctx context.Context, inst *Instance, exec *PlanOptions) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := pq.opts
 	if exec != nil {
 		if err := exec.validate(); err != nil {
@@ -196,6 +227,7 @@ func (pq *PreparedQuery) BindExec(inst *Instance, exec *PlanOptions) (*Plan, err
 		opts.Parallel = exec.Parallel
 		opts.ParallelBatch = exec.ParallelBatch
 		opts.Shards = exec.Shards
+		opts.Workers = exec.Workers
 	}
 	p := &Plan{
 		Query:     pq.Query,
@@ -206,13 +238,18 @@ func (pq *PreparedQuery) BindExec(inst *Instance, exec *PlanOptions) (*Plan, err
 		parallel:  opts.Parallel,
 		batch:     opts.ParallelBatch,
 		shards:    opts.Shards,
+		workers:   opts.Workers,
+		ctx:       ctx,
 	}
 	if pq.Mode == ConstantDelay {
-		up, err := core.NewUnionPlan(pq.Evaluated, pq.Cert, inst)
+		up, err := core.NewUnionPlanCtx(ctx, pq.Evaluated, pq.Cert, inst)
 		if err != nil {
 			return nil, err
 		}
 		if opts.Shards > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := up.PrepareShards(opts.Shards); err != nil {
 				return nil, err
 			}
@@ -248,12 +285,33 @@ func NewPlan(u *UCQ, inst *Instance, opts *PlanOptions) (*Plan, error) {
 }
 
 // Iterator returns a fresh duplicate-free stream of the union's answers.
-// With PlanOptions.Parallel set, the stream is backed by worker goroutines;
-// drain it fully or release it with CloseAnswers.
+// With PlanOptions.Parallel set, the stream is backed by the work-stealing
+// executor's worker pool; drain it fully or release it with CloseAnswers.
+// The binding context given to BindExecContext (if any) parents the
+// stream's background work.
 func (p *Plan) Iterator() Answers {
+	return p.AnswersContext(p.bindCtx())
+}
+
+// AnswersContext returns a fresh duplicate-free stream of the union's
+// answers whose background work is cancelled when ctx is done: for
+// parallel plans, cancellation releases every executor worker within one
+// batch and the stream ends early (no error is surfaced — cancellation is
+// abandonment, and the caller holding ctx knows). Streams without
+// background workers ignore ctx once constructed; a ctx already cancelled
+// at call time yields an empty stream. A nil ctx means the binding context
+// (or Background).
+func (p *Plan) AnswersContext(ctx context.Context) Answers {
+	if ctx == nil {
+		ctx = p.bindCtx()
+	}
+	if ctx.Err() != nil {
+		return enumeration.NewSliceIterator(nil)
+	}
 	if p.Mode == ConstantDelay {
+		eo := core.ExecOptions{BatchSize: p.batch, Workers: p.workers}
 		if p.shards > 0 {
-			it, err := p.union.IteratorParallelSharded(p.batch)
+			it, err := p.union.IteratorParallelShardedCtx(ctx, eo)
 			if err != nil {
 				// NewPlan ran PrepareShards; reaching this is a bug.
 				panic(fmt.Sprintf("ucq: sharded iterator failed after preparation: %v", err))
@@ -261,7 +319,7 @@ func (p *Plan) Iterator() Answers {
 			return it
 		}
 		if p.parallel {
-			return p.union.IteratorParallel(p.batch)
+			return p.union.IteratorParallelCtx(ctx, eo)
 		}
 		return p.union.Iterator()
 	}
@@ -282,13 +340,21 @@ func (p *Plan) Iterator() Answers {
 	return enumeration.NewSliceIterator(rel.Rows())
 }
 
-// CloseAnswers releases the worker goroutines behind a partially drained
-// answer stream from a parallel plan. It is safe to call on any Answers
-// value: streams without background workers are left untouched.
-func CloseAnswers(it Answers) {
-	if c, ok := it.(interface{ Close() }); ok {
-		c.Close()
+// bindCtx returns the context recorded at bind time, or Background.
+func (p *Plan) bindCtx() context.Context {
+	if p.ctx != nil {
+		return p.ctx
 	}
+	return context.Background()
+}
+
+// CloseAnswers releases the worker goroutines behind a partially drained
+// answer stream from a parallel plan, blocking until they have exited. It
+// is safe to call on any Answers value: streams without background workers
+// are left untouched, and wrapper iterators (chains, combinators) forward
+// the release to every member.
+func CloseAnswers(it Answers) {
+	enumeration.CloseIterator(it)
 }
 
 // Materialize drains a fresh iterator into a relation.
