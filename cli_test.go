@@ -98,6 +98,28 @@ func TestCLISmoke(t *testing.T) {
 		t.Errorf("ucq-run -parallel count = %q, want 6\n%s", lines[len(lines)-1], out)
 	}
 
+	// -dataset routes the same evaluation through the catalog BindDataset
+	// path (with the instance loaded from a JSON file).
+	instPath := filepath.Join(dir, "inst.json")
+	if err := os.WriteFile(instPath, []byte(`{"R1": [[1,2],[4,2]], "R2": [[2,3]], "R3": [[3,5],[3,6]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command("go", "run", "./cmd/ucq-run",
+		"-q", queryPath,
+		"-dataset", "smoke="+instPath,
+		"-count",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ucq-run -dataset: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "dataset smoke v1") {
+		t.Errorf("ucq-run -dataset did not report the dataset binding:\n%s", out)
+	}
+	lines = strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[len(lines)-1] != "6" {
+		t.Errorf("ucq-run -dataset count = %q, want 6\n%s", lines[len(lines)-1], out)
+	}
+
 	// -parallel with -limit abandons the stream mid-way; the process must
 	// still exit cleanly (workers are released, not leaked).
 	out, err = exec.Command("go", "run", "./cmd/ucq-run",
@@ -184,6 +206,58 @@ func TestServeSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("request %d: response missing trailer %s:\n%s", i, want, out)
 		}
+	}
+
+	// Dataset walkthrough over the real socket: register once, query
+	// twice, observe the bind-cache hit in /stats.
+	put, err := http.NewRequest(http.MethodPut, base+"/datasets/e2e", strings.NewReader(
+		`{"relations": {"R1": [[1,2],[4,2]], "R2": [[2,3]], "R3": [[3,5],[3,6]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /datasets/e2e: status %d", resp.StatusCode)
+	}
+	dsQuery := `{"query": "Q1(x,y,w) <- R1(x,z), R2(z,y), R3(y,w). Q2(x,y,w) <- R1(x,y), R2(y,w)."}`
+	for i, wantBind := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/datasets/e2e/query", "application/json", strings.NewReader(dsQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dataset query %d: status %d\n%s", i, resp.StatusCode, raw)
+		}
+		if want := fmt.Sprintf(`"bind":%q`, wantBind); !strings.Contains(string(raw), want) {
+			t.Errorf("dataset query %d: trailer missing %s:\n%s", i, want, raw)
+		}
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		BindCache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"bind_cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BindCache.Hits != 1 || stats.BindCache.Misses != 1 {
+		t.Errorf("bind cache over the socket = %+v, want 1 hit / 1 miss", stats.BindCache)
 	}
 }
 

@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel] [-shards N] [-workers N]
+//	ucq-run -q query.ucq -r R1=r1.csv -r R2=r2.csv [-limit N] [-mode auto|naive] [-parallel] [-shards N] [-workers N] [-dataset name[=instance.json]]
 //
 // CSV rows are comma/space/semicolon-separated integers; '#' starts a
 // comment line.
+//
+// With -dataset the relations are registered as a named dataset in an
+// in-process catalog and the query is evaluated through
+// Prepare/BindDataset — the same code path the server's
+// /datasets/{name}/query endpoint uses — instead of the one-shot NewPlan.
+// The form -dataset name=instance.json additionally loads the dataset
+// from a JSON instance file ({"R": [[1,2],...], ...}); -r relations, if
+// any, are added on top, replacing a same-named relation from the file.
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 	batch := flag.Int("batch", 0, "parallel batch size per worker (0 = default)")
 	shards := flag.Int("shards", 0, "hash-partition each branch across N shards (requires -parallel; 0 = off)")
 	workers := flag.Int("workers", 0, "work-stealing executor pool size (requires -parallel; 0 = GOMAXPROCS)")
+	dataset := flag.String("dataset", "", "register the instance as a catalog dataset `name[=instance.json]` and bind through it")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -62,6 +71,19 @@ func main() {
 	}
 
 	inst := ucq.NewInstance()
+	dsName, dsFile, _ := strings.Cut(*dataset, "=")
+	if dsFile != "" {
+		f, err := os.Open(dsFile)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, err := ucq.ReadInstanceJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		inst = loaded
+	}
 	for name, path := range rels {
 		f, err := os.Open(path)
 		if err != nil {
@@ -82,7 +104,7 @@ func main() {
 		Shards:        *shards,
 		Workers:       *workers,
 	}
-	plan, err := ucq.NewPlan(u, inst, opts)
+	plan, err := newPlan(u, inst, opts, dsName)
 	if err != nil {
 		var oe *ucq.OptionsError
 		if errors.As(err, &oe) {
@@ -92,7 +114,11 @@ func main() {
 		}
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation\n", plan.Mode)
+	if dsName != "" {
+		fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation (dataset %s v%d)\n", plan.Mode, plan.DatasetName(), plan.DatasetVersion())
+	} else {
+		fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation\n", plan.Mode)
+	}
 
 	it := plan.Iterator()
 	defer ucq.CloseAnswers(it) // release workers when -limit cuts a parallel stream short
@@ -117,6 +143,25 @@ func main() {
 	if *countOnly {
 		fmt.Println(n)
 	}
+}
+
+// newPlan builds the evaluation: directly (the legacy one-shot path), or
+// through a catalog dataset when -dataset is given — Prepare once,
+// BindDataset against the registered snapshot, exactly the server's
+// dataset code path.
+func newPlan(u *ucq.UCQ, inst *ucq.Instance, opts *ucq.PlanOptions, dsName string) (*ucq.Plan, error) {
+	if dsName == "" {
+		return ucq.NewPlan(u, inst, opts)
+	}
+	pq, err := ucq.Prepare(u, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ucq.NewCatalog().Register(dsName, inst)
+	if err != nil {
+		return nil, err
+	}
+	return pq.BindDataset(ds)
 }
 
 func fatal(err error) {

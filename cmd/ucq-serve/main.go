@@ -6,15 +6,29 @@
 //
 // Usage:
 //
-//	ucq-serve [-addr :8454] [-cache 128] [-flush-every 256] [-max-body 67108864]
+//	ucq-serve [-addr :8454] [-cache 128] [-plan-cache-ttl 0] [-bind-cache 256]
+//	          [-bind-cache-ttl 0] [-flush-every 256] [-max-body 67108864]
 //
 // Endpoints:
 //
-//	POST /query   evaluate a UCQ over the instance in the request body and
-//	              stream the answers as NDJSON (final line is a trailer
-//	              object with the count, engine mode and cache state)
-//	GET  /stats   cache, delay and cancellation counters as JSON
-//	GET  /healthz liveness probe
+//	POST   /query                 evaluate a UCQ over the instance in the
+//	                              request body and stream the answers as
+//	                              NDJSON (final line is a trailer object
+//	                              with the count, engine mode and cache
+//	                              state)
+//	PUT    /datasets/{name}       register or replace a named dataset from
+//	                              JSON rows ({"append": true} appends with
+//	                              a version bump instead)
+//	GET    /datasets              list datasets with versions and row counts
+//	DELETE /datasets/{name}       drop a dataset and its cached binds
+//	POST   /datasets/{name}/query evaluate a UCQ against a registered
+//	                              dataset; the per-instance preprocessing
+//	                              is served from the versioned bind cache,
+//	                              so repeated queries skip straight to
+//	                              enumeration
+//	GET    /stats                 cache, bind-cache, dataset, delay and
+//	                              cancellation counters as JSON
+//	GET    /healthz               liveness probe
 //
 // Cancellation is end to end: a client disconnect mid-stream cancels the
 // request context, which stops the enumeration's work-stealing executor
@@ -40,20 +54,27 @@ import (
 	"syscall"
 	"time"
 
+	ucq "repro"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8454", "listen address")
 	cache := flag.Int("cache", server.DefaultCacheSize, "prepared-plan cache capacity (entries)")
+	planTTL := flag.Duration("plan-cache-ttl", 0, "prepared-plan cache TTL (0 = never expire)")
+	bindCache := flag.Int("bind-cache", ucq.DefaultBindCacheSize, "dataset bind cache capacity (entries)")
+	bindTTL := flag.Duration("bind-cache-ttl", 0, "dataset bind cache TTL (0 = never expire)")
 	flushEvery := flag.Int("flush-every", server.DefaultFlushEvery, "flush the response every N answers (first answer always flushes)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	flag.Parse()
 
 	s := server.New(server.Config{
-		CacheSize:    *cache,
-		FlushEvery:   *flushEvery,
-		MaxBodyBytes: *maxBody,
+		CacheSize:     *cache,
+		CacheTTL:      *planTTL,
+		BindCacheSize: *bindCache,
+		BindCacheTTL:  *bindTTL,
+		FlushEvery:    *flushEvery,
+		MaxBodyBytes:  *maxBody,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -73,7 +94,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ucq-serve: listening on %s (plan cache: %d entries)", *addr, *cache)
+		log.Printf("ucq-serve: listening on %s (plan cache: %d entries, bind cache: %d entries)", *addr, *cache, *bindCache)
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -39,7 +39,9 @@ func canonicalAnswers(t *testing.T, p *Plan) string {
 // and sharded (shards ∈ {1,2,8}) engines must return identical answer
 // sets. The preparation is shared across execution variants through the
 // Prepare/Bind split — the same reuse path the server's plan cache
-// exercises.
+// exercises — and each case additionally routes through a catalog
+// BindDataset twice, checking that a bind-cache-served plan enumerates
+// the same set as a freshly bound one.
 func TestCrossEngineEquivalence(t *testing.T) {
 	const cases = 220
 	rng := rand.New(rand.NewSource(20260727))
@@ -86,6 +88,29 @@ func TestCrossEngineEquivalence(t *testing.T) {
 			if got := canonicalAnswers(t, p); got != want {
 				t.Fatalf("case %d: %s (%s mode) disagrees with naive on\n%s\nnaive:\n%s\n%s:\n%s",
 					i, e.name, p.Mode, u, want, e.name, got)
+			}
+		}
+		// The catalog arm: the same instance registered as a dataset and
+		// bound through BindDataset must agree too — twice, so the second
+		// (cache-served) bind is checked against the same oracle as the
+		// first.
+		cat := NewCatalog()
+		ds, err := cat.Register("case", inst)
+		if err != nil {
+			t.Fatalf("case %d: register: %v", i, err)
+		}
+		for round, wantHit := range []bool{false, true} {
+			p, err := pq.BindDataset(ds)
+			if err != nil {
+				t.Fatalf("case %d: BindDataset round %d: %v\n%s", i, round, err, u)
+			}
+			if p.BindCacheHit() != wantHit {
+				t.Fatalf("case %d: BindDataset round %d: cache hit = %v, want %v",
+					i, round, p.BindCacheHit(), wantHit)
+			}
+			if got := canonicalAnswers(t, p); got != want {
+				t.Fatalf("case %d: BindDataset round %d (%s mode) disagrees with naive on\n%s\nnaive:\n%s\ngot:\n%s",
+					i, round, p.Mode, u, want, got)
 			}
 		}
 	}

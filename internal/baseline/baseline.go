@@ -9,6 +9,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -60,11 +61,23 @@ func DecideCQ(q *cq.CQ, inst *database.Instance) (bool, error) {
 // EvalUCQ computes the union of the member CQs' answers, deduplicated
 // positionally.
 func EvalUCQ(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
+	return EvalUCQCtx(context.Background(), u, inst)
+}
+
+// EvalUCQCtx is EvalUCQ with cooperative cancellation: ctx is checked
+// before each member CQ's evaluation, so a caller that goes away mid-union
+// aborts with ctx's error after at most one member's worth of work instead
+// of materializing the whole answer set for nobody. Member evaluation
+// itself is not interrupted (a single CQ's join runs to completion).
+func EvalUCQCtx(ctx context.Context, u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	rels := make([]*database.Relation, len(u.CQs))
 	for i, q := range u.CQs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := EvalCQ(q, inst)
 		if err != nil {
 			return nil, err
@@ -79,6 +92,13 @@ func EvalUCQ(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
 // merging the member answers through one dedup set. Output order follows
 // CQ order, so the result equals EvalUCQ's row for row.
 func EvalUCQParallel(u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
+	return EvalUCQParallelCtx(context.Background(), u, inst)
+}
+
+// EvalUCQParallelCtx is EvalUCQParallel with cooperative cancellation: each
+// member goroutine checks ctx before starting its join, and a cancelled
+// context surfaces as ctx's error once the in-flight members finish.
+func EvalUCQParallelCtx(ctx context.Context, u *cq.UCQ, inst *database.Instance) (*database.Relation, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,6 +109,10 @@ func EvalUCQParallel(u *cq.UCQ, inst *database.Instance) (*database.Relation, er
 		wg.Add(1)
 		go func(i int, q *cq.CQ) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			rels[i], errs[i] = EvalCQ(q, inst)
 		}(i, q)
 	}
@@ -109,6 +133,13 @@ func EvalUCQParallel(u *cq.UCQ, inst *database.Instance) (*database.Relation, er
 // evaluation. The merged relation is deduplicated positionally; its row
 // order is deterministic for a given n but differs from EvalUCQ's.
 func EvalUCQShardedParallel(u *cq.UCQ, inst *database.Instance, n int) (*database.Relation, error) {
+	return EvalUCQShardedParallelCtx(context.Background(), u, inst, n)
+}
+
+// EvalUCQShardedParallelCtx is EvalUCQShardedParallel with cooperative
+// cancellation: ctx is checked while partitioning each member CQ and by
+// every (CQ, shard) goroutine before its join starts.
+func EvalUCQShardedParallelCtx(ctx context.Context, u *cq.UCQ, inst *database.Instance, n int) (*database.Relation, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,6 +153,9 @@ func EvalUCQShardedParallel(u *cq.UCQ, inst *database.Instance, n int) (*databas
 	}
 	var units []unit
 	for _, q := range u.CQs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sh, _, ok := shard.ChooseAndPartition(q, inst, n)
 		if !ok {
 			units = append(units, unit{q, inst})
@@ -138,6 +172,10 @@ func EvalUCQShardedParallel(u *cq.UCQ, inst *database.Instance, n int) (*databas
 		wg.Add(1)
 		go func(i int, un unit) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			rels[i], errs[i] = EvalCQ(un.q, un.inst)
 		}(i, un)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/database"
@@ -41,8 +42,11 @@ type UnionPlan struct {
 	stats    UnionStats
 
 	// estimate caches the summed branch cardinality (-1 until computed),
-	// used to pre-size the parallel merge's dedup set.
-	estimate int64
+	// used to pre-size the parallel merge's dedup set. It is the only
+	// field written after preparation, so it is atomic: a bound plan served
+	// from the catalog's bind cache is iterated by concurrent requests, and
+	// racing computations store the same value.
+	estimate atomic.Int64
 
 	// Sharded enumeration state, built by PrepareShards: per extension,
 	// one CDY plan per shard (nil when the extension has no safe partition
@@ -92,8 +96,8 @@ func NewUnionPlanCtx(ctx context.Context, u *cq.UCQ, cert *Certificate, inst *da
 		Cert:     cert,
 		resolved: make(map[*ExtendedCQ]*database.Instance),
 		inst:     inst,
-		estimate: -1,
 	}
+	p.estimate.Store(-1)
 	for _, e := range cert.Extensions {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -283,17 +287,18 @@ func (p *UnionPlan) IteratorParallelCtx(ctx context.Context, opts ExecOptions) *
 // upper bound on the distinct answer count, which is the right direction
 // for a sizing hint.
 func (p *UnionPlan) sizeHint() int {
-	if p.estimate < 0 {
-		est := int64(len(p.bonus))
+	est := p.estimate.Load()
+	if est < 0 {
+		est = int64(len(p.bonus))
 		for _, pl := range p.plans {
 			est += pl.CountAnswers()
 		}
-		p.estimate = est
+		p.estimate.Store(est)
 	}
-	if p.estimate > enumeration.MaxSizeHint {
+	if est > enumeration.MaxSizeHint {
 		return enumeration.MaxSizeHint
 	}
-	return int(p.estimate)
+	return int(est)
 }
 
 // branches builds the union's member streams: the bonus answers recorded

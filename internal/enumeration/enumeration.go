@@ -6,6 +6,7 @@
 package enumeration
 
 import (
+	"iter"
 	"sort"
 	"time"
 
@@ -330,6 +331,27 @@ func UnionAll(its ...Iterator) Iterator {
 		return NewCheater(its[0], 1)
 	}
 	return NewCheater(NewChain(its...), len(its))
+}
+
+// Seq adapts an iterator to a Go range-over-func sequence, so callers can
+// write `for t := range enumeration.Seq(it)` instead of hand-rolling the
+// Next loop. The iterator is released (CloseIterator) when the sequence
+// ends — by exhaustion or by an early break — so abandoning a parallel
+// stream mid-range does not leak its executor workers. Like the iterator
+// it wraps, the sequence is single-use.
+func Seq(it Iterator) iter.Seq[database.Tuple] {
+	return func(yield func(database.Tuple) bool) {
+		defer CloseIterator(it)
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}
 }
 
 // Collect drains an iterator into a slice. Ownership follows the iterator:

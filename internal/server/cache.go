@@ -1,59 +1,38 @@
 package server
 
 import (
-	"container/list"
-	"sync"
+	"time"
 
 	ucq "repro"
+	"repro/internal/vcache"
 )
 
-// PlanCache is a concurrency-safe LRU cache of prepared queries keyed on
-// (normalized query, schema, preparation mode). It caches the
+// PlanCache is a concurrency-safe LRU+TTL cache of prepared queries keyed
+// on (normalized query, schema, preparation mode). It caches the
 // instance-independent half of planning — redundancy removal and the
 // Theorem 12 certificate search — which is exactly the work that must not
-// be repeated per request; the per-instance preprocessing happens at Bind
-// time, outside the cache.
+// be repeated per request; the per-instance preprocessing is served by the
+// catalog's bind cache for dataset queries, and runs per request on the
+// legacy inline-instance path.
 //
 // Concurrent misses on the same key are coalesced: one caller runs the
 // preparation while the others wait for its result, so a thundering herd
-// of identical cold requests plans exactly once.
+// of identical cold requests plans exactly once. With a TTL set, entries
+// expire that long after preparation and are re-prepared on next use.
 type PlanCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
-	inflight map[string]*flight
-
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-// entry is one cached preparation.
-type entry struct {
-	key string
-	pq  *ucq.PreparedQuery
-}
-
-// flight is an in-progress preparation other callers can wait on.
-type flight struct {
-	done chan struct{}
-	pq   *ucq.PreparedQuery
-	err  error
+	c *vcache.Cache[*ucq.PreparedQuery]
 }
 
 // NewPlanCache builds a cache holding at most capacity prepared queries
-// (minimum 1).
+// (minimum 1) with no expiry.
 func NewPlanCache(capacity int) *PlanCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &PlanCache{
-		capacity: capacity,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
-		inflight: make(map[string]*flight),
-	}
+	return NewPlanCacheTTL(capacity, 0)
+}
+
+// NewPlanCacheTTL is NewPlanCache with a TTL: entries older than ttl are
+// dropped on access and re-prepared (0 disables expiry).
+func NewPlanCacheTTL(capacity int, ttl time.Duration) *PlanCache {
+	return &PlanCache{c: vcache.New[*ucq.PreparedQuery](capacity, ttl)}
 }
 
 // Get returns the prepared query for key, calling prepare on a miss and
@@ -61,61 +40,36 @@ func NewPlanCache(capacity int) *PlanCache {
 // served without running prepare (a cache hit, including joining another
 // caller's in-flight preparation). Failed preparations are not cached.
 func (c *PlanCache) Get(key string, prepare func() (*ucq.PreparedQuery, error)) (*ucq.PreparedQuery, bool, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		pq := el.Value.(*entry).pq
-		c.mu.Unlock()
-		return pq, true, nil
-	}
-	if fl, ok := c.inflight[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-fl.done
-		return fl.pq, true, fl.err
-	}
-	fl := &flight{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.misses++
-	c.mu.Unlock()
-
-	fl.pq, fl.err = prepare()
-	close(fl.done)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if fl.err == nil {
-		c.entries[key] = c.order.PushFront(&entry{key: key, pq: fl.pq})
-		for c.order.Len() > c.capacity {
-			last := c.order.Back()
-			c.order.Remove(last)
-			delete(c.entries, last.Value.(*entry).key)
-			c.evictions++
-		}
-	}
-	c.mu.Unlock()
-	return fl.pq, false, fl.err
+	return c.c.Get(key, prepare)
 }
 
-// CacheStats is a point-in-time snapshot of the cache counters.
+// CacheStats is a point-in-time snapshot of cache counters (the wire shape
+// of both the plan cache and the bind cache in /stats).
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Size      int   `json:"size"`
-	Capacity  int   `json:"capacity"`
+	// Expirations counts the misses caused by TTL expiry of a previously
+	// cached entry (always ≤ Misses; 0 when no TTL is configured).
+	Expirations int64 `json:"expirations"`
+	Size        int   `json:"size"`
+	Capacity    int   `json:"capacity"`
 }
 
 // Stats snapshots the counters.
 func (c *PlanCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return cacheStatsFrom(c.c.Stats())
+}
+
+// cacheStatsFrom maps the cache counters onto the wire shape — the single
+// conversion site for both the plan cache and the bind cache.
+func cacheStatsFrom(st vcache.Stats) CacheStats {
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      c.order.Len(),
-		Capacity:  c.capacity,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Expirations: st.Expirations,
+		Size:        st.Size,
+		Capacity:    st.Capacity,
 	}
 }

@@ -1,0 +1,187 @@
+package server
+
+// Dataset endpoints: register an instance once, bind many queries against
+// it. PUT /datasets/{name} installs (or replaces/appends, with a version
+// bump) a named dataset in the server's catalog; POST
+// /datasets/{name}/query evaluates a UCQ against the dataset's current
+// snapshot, serving the per-instance half of planning — the Theorem 12
+// preprocessing that used to run on every /query — from the catalog's
+// bind cache keyed on (query fingerprint, dataset, version, shards). The
+// second identical query skips preprocessing entirely and goes straight
+// to constant-delay enumeration; /stats exposes the hit/miss/eviction
+// counters that prove it.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	ucq "repro"
+)
+
+// handleDatasetPut creates, replaces or appends to a named dataset.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	name := r.PathValue("name")
+
+	var req DatasetRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	if req.Append {
+		ds, ok := s.catalog.Dataset(name)
+		if !ok {
+			s.httpError(w, http.StatusNotFound, "no dataset %q to append to", name)
+			return
+		}
+		if _, err := ds.AppendRows(req.Relations); err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Only acknowledge an append the catalog can still see: if a
+		// concurrent DELETE (or DELETE + re-PUT) displaced this dataset
+		// while the rows were being written, the append landed on an
+		// orphaned snapshot and reporting 200 would silently lose it.
+		if cur, ok := s.catalog.Dataset(name); !ok || cur != ds {
+			s.httpError(w, http.StatusConflict, "dataset %q was dropped concurrently", name)
+			return
+		}
+		s.writeDatasetInfo(w, ds)
+		return
+	}
+
+	inst, err := ucq.InstanceFromRows(req.Relations)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds, created, err := s.catalog.Upsert(name, inst)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if created {
+		// A fresh registration's query gauge starts at zero, even when a
+		// dropped dataset of the same name left a stale counter behind.
+		// created is decided under the catalog lock, so the reset cannot
+		// race a concurrent DELETE into resurrecting the old count.
+		s.dsMu.Lock()
+		delete(s.dsQueries, name)
+		s.dsMu.Unlock()
+	}
+	s.writeDatasetInfo(w, ds)
+}
+
+// writeDatasetInfo responds with the dataset's current version and size.
+func (s *Server) writeDatasetInfo(w http.ResponseWriter, ds *ucq.Dataset) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(wireDatasetInfo(ds.Info()))
+}
+
+// wireDatasetInfo maps a catalog listing entry onto the wire shape.
+func wireDatasetInfo(info ucq.DatasetInfo) DatasetInfo {
+	return DatasetInfo{
+		Name:      info.Name,
+		Version:   info.Version,
+		Rows:      info.Rows,
+		Relations: info.Relations,
+	}
+}
+
+// handleDatasetList serves the catalog listing.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	list := DatasetListResponse{Datasets: []DatasetInfo{}}
+	for _, info := range s.catalog.List() {
+		list.Datasets = append(list.Datasets, wireDatasetInfo(info))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(list)
+}
+
+// handleDatasetGet serves one dataset's listing entry.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	ds, ok := s.catalog.Dataset(r.PathValue("name"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no dataset %q", r.PathValue("name"))
+		return
+	}
+	s.writeDatasetInfo(w, ds)
+}
+
+// handleDatasetDelete drops a dataset and its cached binds. In-flight
+// query streams keep the snapshot they were bound to.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	name := r.PathValue("name")
+	if !s.catalog.Drop(name) {
+		s.httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	s.dsMu.Lock()
+	delete(s.dsQueries, name)
+	s.dsMu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDatasetQuery evaluates a UCQ against a registered dataset's
+// current snapshot and streams the answers as NDJSON, exactly like
+// /query, except that the instance rides in no request body: the
+// preparation comes from the plan cache and the per-instance
+// preprocessing from the bind cache, so a warm (query, dataset) pair does
+// no planning work at all before the first answer.
+func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	name := r.PathValue("name")
+
+	req, u, mode, exec, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Relations) > 0 {
+		s.httpError(w, http.StatusBadRequest,
+			"inline relations are not allowed on dataset queries; PUT /datasets/%s instead", name)
+		return
+	}
+	ds, ok := s.catalog.Dataset(name)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+
+	pq, hit, err := s.prepared(mode, u)
+	if err != nil {
+		s.planError(w, err)
+		return
+	}
+
+	// The per-instance half: Theorem 12 preprocessing on a bind-cache
+	// miss, a pointer copy on a hit. The plan pins the snapshot it was
+	// bound against — a concurrent Replace bumps the version for later
+	// requests but never disturbs this stream.
+	plan, err := pq.BindDatasetExecContext(r.Context(), ds, exec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.stats.requestsCancelled.Add(1)
+			return
+		}
+		s.planError(w, err)
+		return
+	}
+
+	s.dsMu.Lock()
+	s.dsQueries[name]++
+	s.dsMu.Unlock()
+
+	s.stream(w, r, plan, streamMeta{
+		cache:     cacheState(hit),
+		bind:      cacheState(plan.BindCacheHit()),
+		dataset:   plan.DatasetName(),
+		dsVersion: plan.DatasetVersion(),
+	}, req.Limit)
+}

@@ -10,8 +10,16 @@
 // Theorem 12 certificate search — is served from a concurrency-safe LRU
 // cache, so repeated queries pay only the per-instance preprocessing.
 //
-// GET /stats exposes cache hit/miss/eviction counters, answers streamed,
-// and per-request delay percentiles; GET /healthz is a liveness probe.
+// The /datasets endpoints remove that remaining per-request cost: PUT
+// /datasets/{name} registers (or replaces/appends, with a version bump) a
+// named dataset in the server's catalog, and POST /datasets/{name}/query
+// evaluates against its current immutable snapshot with the per-instance
+// preprocessing served from the catalog's versioned bind cache — the
+// second identical query goes straight to enumeration.
+//
+// GET /stats exposes plan- and bind-cache hit/miss/eviction/expiration
+// counters, per-dataset gauges, answers streamed, and per-request delay
+// percentiles; GET /healthz is a liveness probe.
 package server
 
 import (
@@ -19,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	ucq "repro"
@@ -28,6 +37,14 @@ import (
 type Config struct {
 	// CacheSize caps the prepared-plan cache (0 = DefaultCacheSize).
 	CacheSize int
+	// CacheTTL expires prepared-plan entries this long after preparation
+	// (0 = never); expired entries are re-prepared on next use.
+	CacheTTL time.Duration
+	// BindCacheSize caps the catalog's bind cache (0 =
+	// ucq.DefaultBindCacheSize).
+	BindCacheSize int
+	// BindCacheTTL expires cached dataset binds (0 = never).
+	BindCacheTTL time.Duration
 	// FlushEvery flushes the response after this many answers beyond the
 	// first (0 = DefaultFlushEvery). The first answer always flushes
 	// immediately.
@@ -46,9 +63,15 @@ const (
 // Server is the streaming UCQ evaluation service. Create with New; the
 // zero value is not usable.
 type Server struct {
-	cache *PlanCache
-	stats Stats
-	cfg   Config
+	cache   *PlanCache
+	catalog *ucq.Catalog
+	stats   Stats
+	cfg     Config
+
+	// dsMu guards dsQueries, the per-dataset query counters surfaced as
+	// /stats gauges.
+	dsMu      sync.Mutex
+	dsQueries map[string]int64
 }
 
 // New builds a Server with the given configuration.
@@ -62,13 +85,32 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	return &Server{cache: NewPlanCache(cfg.CacheSize), cfg: cfg}
+	return &Server{
+		cache: NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
+		catalog: ucq.NewCatalogConfig(ucq.CatalogConfig{
+			BindCacheSize: cfg.BindCacheSize,
+			BindCacheTTL:  cfg.BindCacheTTL,
+		}),
+		cfg:       cfg,
+		dsQueries: make(map[string]int64),
+	}
 }
 
-// Handler returns the HTTP handler serving /query, /stats and /healthz.
+// Catalog returns the server's dataset catalog — the registry behind the
+// /datasets endpoints, exposed for embedding processes that want to
+// register datasets programmatically.
+func (s *Server) Catalog() *ucq.Catalog { return s.catalog }
+
+// Handler returns the HTTP handler serving /query, /datasets, /stats and
+// /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("PUT /datasets/{name}", s.handleDatasetPut)
+	mux.HandleFunc("GET /datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /datasets/{name}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /datasets/{name}/query", s.handleDatasetQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -80,6 +122,18 @@ func (s *Server) Handler() http.Handler {
 // StatsSnapshot returns the server's current counters — the same data
 // GET /stats serves.
 func (s *Server) StatsSnapshot() Snapshot {
+	var gauges []DatasetGauge
+	s.dsMu.Lock()
+	for _, info := range s.catalog.List() {
+		gauges = append(gauges, DatasetGauge{
+			Name:      info.Name,
+			Version:   info.Version,
+			Rows:      info.Rows,
+			Relations: info.Relations,
+			Queries:   s.dsQueries[info.Name],
+		})
+	}
+	s.dsMu.Unlock()
 	return Snapshot{
 		Requests:          s.stats.requests.Load(),
 		Errors:            s.stats.errors.Load(),
@@ -88,6 +142,8 @@ func (s *Server) StatsSnapshot() Snapshot {
 		RequestsCancelled: s.stats.requestsCancelled.Load(),
 		PlansPrepared:     s.stats.plansPrepared.Load(),
 		Cache:             s.cache.Stats(),
+		BindCache:         cacheStatsFrom(s.catalog.BindCacheStats()),
+		Datasets:          gauges,
 		Delays:            s.stats.delays(),
 	}
 }
@@ -120,49 +176,63 @@ func (s *Server) httpError(w http.ResponseWriter, status int, format string, arg
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.stats.requests.Add(1)
-
-	var req QueryRequest
+// decodeQuery decodes and validates the parts of a query request shared by
+// the inline-instance and dataset endpoints: the parsed union, the
+// normalized mode and the per-request execution options. On failure it
+// writes the error response and returns ok = false.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (req QueryRequest, u *ucq.UCQ, mode string, exec *ucq.PlanOptions, ok bool) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
+		return req, nil, "", nil, false
 	}
 	u, err := ucq.Parse(req.Query)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "parsing query: %v", err)
-		return
+		return req, nil, "", nil, false
 	}
-	mode := req.Options.Mode
+	mode = req.Options.Mode
 	if mode == "" {
 		mode = "auto"
 	}
 	if mode != "auto" && mode != "naive" {
 		s.httpError(w, http.StatusBadRequest, "options.mode must be \"auto\" or \"naive\", got %q", mode)
-		return
+		return req, nil, "", nil, false
 	}
-	exec := &ucq.PlanOptions{
+	if req.Limit < 0 {
+		s.httpError(w, http.StatusBadRequest, "limit must be ≥ 0, got %d", req.Limit)
+		return req, nil, "", nil, false
+	}
+	exec = &ucq.PlanOptions{
 		ForceNaive:    mode == "naive",
 		Parallel:      req.Options.Parallel,
 		ParallelBatch: req.Options.Batch,
 		Shards:        req.Options.Shards,
 		Workers:       req.Options.Workers,
 	}
-	if req.Limit < 0 {
-		s.httpError(w, http.StatusBadRequest, "limit must be ≥ 0, got %d", req.Limit)
-		return
-	}
+	return req, u, mode, exec, true
+}
 
-	// The instance-independent preparation, served from the LRU cache.
-	// Prepare sees only the mode-shaping options: execution options are
-	// applied (and validated) per request in BindExec below, so a request
-	// with invalid execution options can never poison the shared entry or
-	// the callers coalesced onto its in-flight preparation.
-	pq, hit, err := s.cache.Get(planKey(mode, u), func() (*ucq.PreparedQuery, error) {
+// prepared serves the instance-independent preparation from the LRU cache.
+// Prepare sees only the mode-shaping options: execution options are
+// applied (and validated) per request at bind time, so a request with
+// invalid execution options can never poison the shared entry or the
+// callers coalesced onto its in-flight preparation.
+func (s *Server) prepared(mode string, u *ucq.UCQ) (*ucq.PreparedQuery, bool, error) {
+	return s.cache.Get(planKey(mode, u), func() (*ucq.PreparedQuery, error) {
 		s.stats.plansPrepared.Add(1)
 		return ucq.Prepare(u, &ucq.PlanOptions{ForceNaive: mode == "naive"})
 	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+
+	req, u, mode, exec, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	pq, hit, err := s.prepared(mode, u)
 	if err != nil {
 		s.planError(w, err)
 		return
@@ -190,7 +260,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.stream(w, r, plan, hit, req.Limit)
+	s.stream(w, r, plan, streamMeta{cache: cacheState(hit)}, req.Limit)
+}
+
+// cacheState renders a hit bool as the wire's "hit"/"miss".
+func cacheState(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // planError maps planning failures onto HTTP statuses: invalid option
@@ -205,6 +283,16 @@ func (s *Server) planError(w http.ResponseWriter, err error) {
 	s.httpError(w, http.StatusBadRequest, "planning: %v", err)
 }
 
+// streamMeta carries the cache/dataset provenance a stream reports in its
+// headers and trailer. bind and dataset stay zero on the legacy
+// inline-instance path, keeping its wire format byte-identical.
+type streamMeta struct {
+	cache     string // plan cache: "hit" or "miss"
+	bind      string // bind cache: "hit", "miss", or "" (inline bind)
+	dataset   string
+	dsVersion uint64
+}
+
 // stream drains the plan's iterator into the response as NDJSON. The first
 // answer is flushed immediately — on certified plans it reaches the client
 // while enumeration of the remaining answers is still running — and later
@@ -216,14 +304,14 @@ func (s *Server) planError(w http.ResponseWriter, err error) {
 // the work-stealing executor behind a parallel plan and every worker is
 // released within one batch; the request is then counted as cancelled and
 // no trailer is written.
-func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, cacheHit bool, limit int) {
-	cacheState := "miss"
-	if cacheHit {
-		cacheState = "hit"
-	}
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, meta streamMeta, limit int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
-	w.Header().Set("X-Ucq-Cache", cacheState)
+	w.Header().Set("X-Ucq-Cache", meta.cache)
+	if meta.bind != "" {
+		w.Header().Set("X-Ucq-Bind", meta.bind)
+		w.Header().Set("X-Ucq-Dataset-Version", fmt.Sprint(meta.dsVersion))
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, canFlush := w.(http.Flusher)
 
@@ -282,10 +370,13 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 		return
 	}
 	_ = json.NewEncoder(w).Encode(Trailer{
-		Done:  true,
-		Count: count,
-		Mode:  plan.Mode.String(),
-		Cache: cacheState,
+		Done:           true,
+		Count:          count,
+		Mode:           plan.Mode.String(),
+		Cache:          meta.cache,
+		Dataset:        meta.dataset,
+		DatasetVersion: meta.dsVersion,
+		Bind:           meta.bind,
 	})
 	if canFlush {
 		flusher.Flush()

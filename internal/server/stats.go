@@ -71,10 +71,27 @@ type Snapshot struct {
 	// RequestsCancelled counts streams cut short by the client going away
 	// (context cancellation or a failed write): the enumeration was
 	// cancelled and its executor workers released without a trailer.
-	RequestsCancelled int64            `json:"requests_cancelled"`
-	PlansPrepared     int64            `json:"plans_prepared"`
-	Cache             CacheStats       `json:"cache"`
-	Delays            DelayPercentiles `json:"delays"`
+	RequestsCancelled int64      `json:"requests_cancelled"`
+	PlansPrepared     int64      `json:"plans_prepared"`
+	Cache             CacheStats `json:"cache"`
+	// BindCache counts the catalog's bind cache: misses are Theorem 12
+	// preprocessing runs for dataset queries, hits are dataset binds served
+	// without one.
+	BindCache CacheStats `json:"bind_cache"`
+	// Datasets gauges every registered dataset (sorted by name).
+	Datasets []DatasetGauge   `json:"datasets,omitempty"`
+	Delays   DelayPercentiles `json:"delays"`
+}
+
+// DatasetGauge is one registered dataset's /stats entry.
+type DatasetGauge struct {
+	Name      string `json:"name"`
+	Version   uint64 `json:"version"`
+	Rows      int    `json:"rows"`
+	Relations int    `json:"relations"`
+	// Queries counts POST /datasets/{name}/query requests admitted for
+	// this dataset since it was registered.
+	Queries int64 `json:"queries"`
 }
 
 // delays computes the percentile summary over the current window.

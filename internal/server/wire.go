@@ -36,12 +36,45 @@ type QueryOptions struct {
 
 // Trailer is the final NDJSON line of a /query response — the only line
 // that is a JSON object rather than an array, so clients can detect
-// completion and distinguish it from answers.
+// completion and distinguish it from answers. The dataset fields are set
+// only on /datasets/{name}/query responses, keeping the legacy /query
+// trailer byte-identical.
 type Trailer struct {
 	Done  bool   `json:"done"`
 	Count int    `json:"count"`
 	Mode  string `json:"mode"`
 	Cache string `json:"cache"`
+	// Dataset and DatasetVersion identify the snapshot the query ran on.
+	Dataset        string `json:"dataset,omitempty"`
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
+	// Bind is "hit" when the per-instance preprocessing was served from the
+	// bind cache, "miss" when this request computed (and cached) it.
+	Bind string `json:"bind,omitempty"`
+}
+
+// DatasetRequest is the PUT /datasets/{name} body: the relations in the
+// same rows wire format as QueryRequest.Relations.
+type DatasetRequest struct {
+	// Relations maps relation names to rows of integers; the arity of a
+	// relation is fixed by its first row.
+	Relations map[string][][]int64 `json:"relations"`
+	// Append adds the rows to the existing dataset (copy-on-write, version
+	// bump) instead of replacing its contents. The target must exist.
+	Append bool `json:"append,omitempty"`
+}
+
+// DatasetInfo is one dataset's listing entry: the PUT response body and
+// the elements of GET /datasets.
+type DatasetInfo struct {
+	Name      string `json:"name"`
+	Version   uint64 `json:"version"`
+	Rows      int    `json:"rows"`
+	Relations int    `json:"relations"`
+}
+
+// DatasetListResponse is the GET /datasets body.
+type DatasetListResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
 }
 
 // ErrorResponse is the JSON body of a non-200 response.

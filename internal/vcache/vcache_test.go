@@ -1,0 +1,154 @@
+package vcache
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fillConst returns a fill function producing v and counting its calls.
+func fillConst(v int, calls *int32) func() (int, error) {
+	return func() (int, error) {
+		atomic.AddInt32(calls, 1)
+		return v, nil
+	}
+}
+
+func TestGetHitMissEvict(t *testing.T) {
+	c := New[int](2, 0)
+	var calls int32
+	got, hit, err := c.Get("a", fillConst(1, &calls))
+	if err != nil || hit || got != 1 {
+		t.Fatalf("first get: %d hit=%v err=%v", got, hit, err)
+	}
+	got, hit, _ = c.Get("a", fillConst(99, &calls))
+	if !hit || got != 1 {
+		t.Fatalf("second get: %d hit=%v", got, hit)
+	}
+	c.Get("b", fillConst(2, &calls))
+	c.Get("a", fillConst(99, &calls)) // touch a: recency a > b
+	c.Get("c", fillConst(3, &calls))  // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, hit, _ := c.Get("b", fillConst(2, &calls)); hit {
+		t.Error("b should have been evicted")
+	}
+	if calls != 4 {
+		t.Errorf("fill ran %d times, want 4 (a, b, c, b-again)", calls)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](4, 0)
+	boom := errors.New("boom")
+	_, hit, err := c.Get("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) || hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	got, hit, err := c.Get("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || got != 7 {
+		t.Fatalf("retry after error: %d hit=%v err=%v", got, hit, err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Size != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New[int](4, time.Minute)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+
+	var calls int32
+	c.Get("k", fillConst(1, &calls))
+	if _, hit, _ := c.Get("k", fillConst(1, &calls)); !hit {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(59 * time.Second)
+	if _, hit, _ := c.Get("k", fillConst(1, &calls)); !hit {
+		t.Fatal("entry under TTL should hit")
+	}
+	now = now.Add(2 * time.Second) // 61s after insert
+	got, hit, _ := c.Get("k", fillConst(2, &calls))
+	if hit || got != 2 {
+		t.Fatalf("expired entry: %d hit=%v (want refill)", got, hit)
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The refill resets the clock: fresh again.
+	if _, hit, _ := c.Get("k", fillConst(3, &calls)); !hit {
+		t.Error("refilled entry should hit")
+	}
+}
+
+func TestCoalescesConcurrentMisses(t *testing.T) {
+	c := New[int](4, 0)
+	var calls int32
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	hits := int32(0)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, hit, err := c.Get("k", func() (int, error) {
+				atomic.AddInt32(&calls, 1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || got != 42 {
+				t.Errorf("got %d err %v", got, err)
+			}
+			if hit {
+				atomic.AddInt32(&hits, 1)
+			}
+		}()
+	}
+	// Let the herd pile up on the flight, then release the one fill.
+	for {
+		c.mu.Lock()
+		inflight := len(c.inflight)
+		c.mu.Unlock()
+		if inflight == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("fill ran %d times, want 1", calls)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestDeleteFunc(t *testing.T) {
+	c := New[int](8, 0)
+	var calls int32
+	c.Get("ds1|v1|q1", fillConst(1, &calls))
+	c.Get("ds1|v1|q2", fillConst(2, &calls))
+	c.Get("ds2|v1|q1", fillConst(3, &calls))
+	if n := c.DeleteFunc(func(k string) bool { return strings.HasPrefix(k, "ds1|") }); n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	st := c.Stats()
+	if st.Size != 1 || st.Evictions != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, hit, _ := c.Get("ds2|v1|q1", fillConst(3, &calls)); !hit {
+		t.Error("untouched key should still hit")
+	}
+	if _, hit, _ := c.Get("ds1|v1|q1", fillConst(1, &calls)); hit {
+		t.Error("deleted key should miss")
+	}
+}

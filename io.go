@@ -88,20 +88,30 @@ func InstanceFromRows(rels map[string][][]int64) (*Instance, error) {
 			return nil, fmt.Errorf("ucq: relation %s has an empty first row; arity unknown", name)
 		}
 		rel := database.NewRelation(name, len(rows[0]))
-		for i, row := range rows {
-			if len(row) != rel.Arity() {
-				return nil, fmt.Errorf("ucq: %s row %d: %d values, expected %d", name, i, len(row), rel.Arity())
-			}
-			for _, v := range row {
-				if v > database.MaxPayload || v < database.MinPayload {
-					return nil, fmt.Errorf("ucq: %s row %d: value %d outside the %d-bit payload range", name, i, v, 56)
-				}
-			}
-			rel.AppendInts(row...)
+		if err := appendWireRows(rel, name, rows); err != nil {
+			return nil, err
 		}
 		inst.AddRelation(rel)
 	}
 	return inst, nil
+}
+
+// appendWireRows validates rows against rel's arity and the value payload
+// range and appends them — the one validation path for relation rows
+// arriving over the wire (InstanceFromRows and Dataset.AppendRows).
+func appendWireRows(rel *database.Relation, name string, rows [][]int64) error {
+	for i, row := range rows {
+		if len(row) != rel.Arity() {
+			return fmt.Errorf("ucq: %s row %d: %d values, expected %d", name, i, len(row), rel.Arity())
+		}
+		for _, v := range row {
+			if v > database.MaxPayload || v < database.MinPayload {
+				return fmt.Errorf("ucq: %s row %d: value %d outside the %d-bit payload range", name, i, v, 56)
+			}
+		}
+		rel.AppendInts(row...)
+	}
+	return nil
 }
 
 // ReadInstanceJSON decodes a JSON object mapping relation names to integer

@@ -1,0 +1,97 @@
+package ucq
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// countingCtx reports itself cancelled from the n-th Err() call on — a
+// deterministic stand-in for a client that goes away mid-evaluation, which
+// lets the test pin exactly where the naive path checks its context.
+type countingCtx struct {
+	context.Context
+	calls    atomic.Int64
+	cancelAt int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) >= c.cancelAt {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestNaiveAnswersContextHonorsCancellation is the regression test for the
+// naive engine running to completion under a cancelled context: ctx is
+// live when the stream is requested but cancels before the second member
+// CQ, and the stream must come back empty instead of materializing the
+// whole union.
+func TestNaiveAnswersContextHonorsCancellation(t *testing.T) {
+	u := MustParse(`
+		Q1(x,y) <- R(x,y).
+		Q2(x,y) <- S(x,y).
+	`)
+	inst := NewInstance()
+	r := NewRelation("R", 2)
+	s := NewRelation("S", 2)
+	for i := int64(0); i < 50; i++ {
+		r.AppendInts(i, i+1)
+		s.AppendInts(i+100, i)
+	}
+	inst.AddRelation(r)
+	inst.AddRelation(s)
+
+	plan, err := NewPlan(u, inst, &PlanOptions{ForceNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: an un-cancelled run sees all 100 answers.
+	if n := drainCount(plan.AnswersContext(context.Background())); n != 100 {
+		t.Fatalf("baseline run: %d answers, want 100", n)
+	}
+
+	// Call 1 is AnswersContext's entry check (must pass — the stream
+	// starts), call 2 guards the first member CQ, call 3 the second: cancel
+	// there, mid-union.
+	ctx := &countingCtx{Context: context.Background(), cancelAt: 3}
+	if n := drainCount(plan.AnswersContext(ctx)); n != 0 {
+		t.Errorf("cancelled mid-union: %d answers, want 0 (empty stream)", n)
+	}
+	if calls := ctx.calls.Load(); calls < 3 {
+		t.Errorf("naive path checked ctx %d times; the per-member check is gone", calls)
+	}
+
+	// Already-cancelled contexts still yield the empty stream up front.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := drainCount(plan.AnswersContext(done)); n != 0 {
+		t.Errorf("pre-cancelled ctx: %d answers, want 0", n)
+	}
+
+	// The parallel and sharded naive evaluators honor cancellation too.
+	for _, opts := range []*PlanOptions{
+		{ForceNaive: true, Parallel: true},
+		{ForceNaive: true, Parallel: true, Shards: 2},
+	} {
+		p, err := NewPlan(u, inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &countingCtx{Context: context.Background(), cancelAt: 2}
+		if n := drainCount(p.AnswersContext(ctx)); n != 0 {
+			t.Errorf("opts %+v: cancelled run produced %d answers, want 0", opts, n)
+		}
+	}
+}
+
+// drainCount exhausts an answer stream and returns its length.
+func drainCount(it Answers) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

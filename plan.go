@@ -2,7 +2,10 @@ package ucq
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"iter"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -132,7 +135,27 @@ type Plan struct {
 	// ctx is the binding context from BindExecContext: the default parent
 	// for the background work of every Answers stream this plan produces.
 	ctx context.Context
+	// Dataset provenance (zero-valued for inline-instance binds): the
+	// snapshot the plan was bound against and whether the per-instance
+	// preprocessing was served from the catalog's bind cache.
+	dsName    string
+	dsVersion uint64
+	bindHit   bool
 }
+
+// DatasetName returns the name of the dataset the plan was bound against,
+// or "" for an inline-instance bind (NewPlan, Bind, BindExec).
+func (p *Plan) DatasetName() string { return p.dsName }
+
+// DatasetVersion returns the version of the dataset snapshot the plan was
+// bound against, or 0 for an inline-instance bind. The plan enumerates
+// that snapshot even if the dataset is replaced afterwards.
+func (p *Plan) DatasetVersion() uint64 { return p.dsVersion }
+
+// BindCacheHit reports whether the plan's per-instance preprocessing was
+// served from the catalog's bind cache rather than computed (BindDataset
+// only; inline binds never hit the cache).
+func (p *Plan) BindCacheHit() bool { return p.bindHit }
 
 // PreparedQuery is the instance-independent half of a plan: the outcome of
 // option validation, containment-based redundancy removal and the
@@ -157,6 +180,26 @@ type PreparedQuery struct {
 	Cert *Certificate
 
 	opts PlanOptions
+	// fingerprint identifies the preparation inputs (query text plus the
+	// preparation-shaping options); see Fingerprint.
+	fingerprint string
+}
+
+// Fingerprint returns a stable identifier of the preparation inputs: the
+// query as given plus every option that shapes preparation (ForceNaive,
+// RequireConstantDelay, KeepRedundant and the search bounds). Two Prepare
+// calls with the same inputs produce the same fingerprint, so bound plans
+// cached under it (the catalog's bind cache) are interchangeable across
+// PreparedQuery values. Execution options are excluded on purpose — they
+// do not affect the per-instance preprocessing the fingerprint keys.
+func (pq *PreparedQuery) Fingerprint() string { return pq.fingerprint }
+
+// fingerprintQuery hashes the preparation inputs.
+func fingerprintQuery(u *UCQ, opts *PlanOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "force-naive=%v require-cd=%v keep-redundant=%v search=%+v\n%s",
+		opts.ForceNaive, opts.RequireConstantDelay, opts.KeepRedundant, opts.Search, u.String())
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Prepare runs the instance-independent part of planning: it validates the
@@ -177,7 +220,8 @@ func Prepare(u *UCQ, opts *PlanOptions) (*PreparedQuery, error) {
 	if !opts.KeepRedundant {
 		work = homomorphism.RemoveRedundant(u)
 	}
-	pq := &PreparedQuery{Query: u, Evaluated: work, Mode: Naive, opts: *opts}
+	pq := &PreparedQuery{Query: u, Evaluated: work, Mode: Naive, opts: *opts,
+		fingerprint: fingerprintQuery(u, opts)}
 	if !opts.ForceNaive {
 		if cert, ok := core.FindCertificate(work, opts.Search); ok {
 			pq.Mode = ConstantDelay
@@ -216,46 +260,56 @@ func (pq *PreparedQuery) BindExec(inst *Instance, exec *PlanOptions) (*Plan, err
 // releases the executor workers behind Iterator's streams, whether or not
 // CloseAnswers is called. A nil ctx means context.Background().
 func (pq *PreparedQuery) BindExecContext(ctx context.Context, inst *Instance, exec *PlanOptions) (*Plan, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	// The inline-instance API is a thin wrapper over a one-shot anonymous
+	// dataset: same bind path as BindDataset, no name, no bind cache.
+	return pq.BindDatasetExecContext(ctx, anonymousDataset(inst), exec)
+}
+
+// execOptions merges per-binding execution options over the Prepare-time
+// options, validating them.
+func (pq *PreparedQuery) execOptions(exec *PlanOptions) (PlanOptions, error) {
 	opts := pq.opts
 	if exec != nil {
 		if err := exec.validate(); err != nil {
-			return nil, err
+			return PlanOptions{}, err
 		}
 		opts.Parallel = exec.Parallel
 		opts.ParallelBatch = exec.ParallelBatch
 		opts.Shards = exec.Shards
 		opts.Workers = exec.Workers
 	}
-	p := &Plan{
-		Query:     pq.Query,
-		Evaluated: pq.Evaluated,
-		Mode:      pq.Mode,
-		Cert:      pq.Cert,
-		inst:      inst,
-		parallel:  opts.Parallel,
-		batch:     opts.ParallelBatch,
-		shards:    opts.Shards,
-		workers:   opts.Workers,
-		ctx:       ctx,
-	}
+	return opts, nil
+}
+
+// boundQuery is the per-instance half of a plan — the outcome of binding a
+// prepared query to one immutable instance. In constant-delay mode it
+// holds the Theorem 12 union pipeline (with shard plans when sharding was
+// requested); in naive mode it only records that the schema validated.
+// A boundQuery is read-only after bindInstance returns and safe to share
+// across concurrent plans, which is what the catalog's bind cache does.
+type boundQuery struct {
+	union *core.UnionPlan // nil in naive mode
+}
+
+// bindInstance runs the per-instance half of planning: the Theorem 12
+// preprocessing (plus shard preparation when shards > 0) in constant-delay
+// mode, or schema validation in naive mode. ctx aborts a still-running
+// preprocessing between extensions.
+func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, shards int) (*boundQuery, error) {
 	if pq.Mode == ConstantDelay {
 		up, err := core.NewUnionPlanCtx(ctx, pq.Evaluated, pq.Cert, inst)
 		if err != nil {
 			return nil, err
 		}
-		if opts.Shards > 0 {
+		if shards > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := up.PrepareShards(opts.Shards); err != nil {
+			if err := up.PrepareShards(shards); err != nil {
 				return nil, err
 			}
 		}
-		p.union = up
-		return p, nil
+		return &boundQuery{union: up}, nil
 	}
 	// Validate relations up front so Iterator can't fail later.
 	for _, d := range pq.Query.Schema() {
@@ -267,7 +321,25 @@ func (pq *PreparedQuery) BindExecContext(ctx context.Context, inst *Instance, ex
 			return nil, fmt.Errorf("ucq: relation %q has arity %d, query uses %d", d.Name, r.Arity(), d.Arity)
 		}
 	}
-	return p, nil
+	return &boundQuery{}, nil
+}
+
+// newBoundPlan wraps a bound query in a fresh Plan carrying this binding's
+// execution options and context.
+func (pq *PreparedQuery) newBoundPlan(ctx context.Context, inst *Instance, opts PlanOptions, bq *boundQuery) *Plan {
+	return &Plan{
+		Query:     pq.Query,
+		Evaluated: pq.Evaluated,
+		Mode:      pq.Mode,
+		Cert:      pq.Cert,
+		union:     bq.union,
+		inst:      inst,
+		parallel:  opts.Parallel,
+		batch:     opts.ParallelBatch,
+		shards:    opts.Shards,
+		workers:   opts.Workers,
+		ctx:       ctx,
+	}
 }
 
 // NewPlan prepares the evaluation of u over inst: it removes redundant
@@ -323,17 +395,23 @@ func (p *Plan) AnswersContext(ctx context.Context) Answers {
 		}
 		return p.union.Iterator()
 	}
-	eval := baseline.EvalUCQ
+	eval := baseline.EvalUCQCtx
 	switch {
 	case p.shards > 0:
-		eval = func(u *UCQ, inst *Instance) (*Relation, error) {
-			return baseline.EvalUCQShardedParallel(u, inst, p.shards)
+		eval = func(ctx context.Context, u *UCQ, inst *Instance) (*Relation, error) {
+			return baseline.EvalUCQShardedParallelCtx(ctx, u, inst, p.shards)
 		}
 	case p.parallel:
-		eval = baseline.EvalUCQParallel
+		eval = baseline.EvalUCQParallelCtx
 	}
-	rel, err := eval(p.Evaluated, p.inst)
+	rel, err := eval(ctx, p.Evaluated, p.inst)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled mid-evaluation: like the parallel engines, the
+			// stream just ends early — cancellation is abandonment, and the
+			// caller holding ctx knows.
+			return enumeration.NewSliceIterator(nil)
+		}
 		// NewPlan validated the schema; reaching this is a bug.
 		panic(fmt.Sprintf("ucq: naive evaluation failed after validation: %v", err))
 	}
@@ -357,29 +435,33 @@ func CloseAnswers(it Answers) {
 	enumeration.CloseIterator(it)
 }
 
+// All returns a fresh duplicate-free answer stream as a Go range-over-func
+// sequence: `for t := range plan.All(ctx) { ... }`. The backing iterator
+// is released when the range ends — by exhaustion or an early break — so
+// parallel plans never leak executor workers through an abandoned range.
+// A nil ctx means the binding context (see AnswersContext for the
+// cancellation semantics). The sequence is single-use; call All again for
+// a new enumeration.
+func (p *Plan) All(ctx context.Context) iter.Seq[Tuple] {
+	return enumeration.Seq(p.AnswersContext(ctx))
+}
+
 // Materialize drains a fresh iterator into a relation.
 func (p *Plan) Materialize() *Relation {
 	out := database.NewRelation("answers", p.Query.Arity())
-	it := p.Iterator()
-	for {
-		t, ok := it.Next()
-		if !ok {
-			return out
-		}
+	for t := range p.All(nil) {
 		out.Append(t...)
 	}
+	return out
 }
 
 // Count drains a fresh iterator and returns the number of answers.
 func (p *Plan) Count() int {
 	n := 0
-	it := p.Iterator()
-	for {
-		if _, ok := it.Next(); !ok {
-			return n
-		}
+	for range p.All(nil) {
 		n++
 	}
+	return n
 }
 
 // Explain renders a human-readable description of the plan: in
