@@ -742,3 +742,61 @@ func BenchmarkE17BindDatasetCached(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE18AutoModeSelection: the cost-based Auto planner against
+// hand-picked execution modes across the three instance regimes it
+// navigates — tiny (where any parallelism is overhead), uniform (where
+// disjoint sharding wins on multi-core), and skewed (where work stealing
+// beats sharding). Each arm times bind + drain, so Auto pays for its own
+// decision probe (the counting pass and the output-skew samples) inside
+// the measurement. The claim the gate watches: auto tracks the best
+// hand-picked mode per regime and never the worst.
+func BenchmarkE18AutoModeSelection(b *testing.B) {
+	u := MustParse("Q(x,y,w) <- R1(x,y), R2(y,w).")
+	pq, err := Prepare(u, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := []struct {
+		name string
+		inst *Instance
+	}{
+		// ~160 answers: below every parallel threshold.
+		{"tiny", workload.SkewedJoin(4, 4, 12, 4, 3, 1)},
+		// 100 balanced keys, 48k answers: the disjoint-sharding regime.
+		{"uniform", workload.SkewedJoin(160, 3, 99, 160, 3, 1)},
+		// ~1M answers, ~96% on one key: sharding would starve, work
+		// stealing re-splits (the E14/E16 skew regime).
+		{"skewed", workload.SkewedJoin(16000, 60, 99, 160, 3, 1)},
+	}
+	modes := []struct {
+		name string
+		opts *PlanOptions
+	}{
+		{"auto", &PlanOptions{Auto: true}},
+		{"sequential", nil},
+		{"parallel", &PlanOptions{Parallel: true}},
+		{"sharded-8", &PlanOptions{Parallel: true, Shards: 8}},
+	}
+	for _, in := range instances {
+		seq, err := pq.Bind(in.inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := seq.Count()
+		for _, m := range modes {
+			b.Run(in.name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, err := pq.BindExec(in.inst, m.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := drain(b, p.Iterator()); got != want {
+						b.Fatalf("answers = %d, want %d", got, want)
+					}
+				}
+				b.ReportMetric(float64(want), "answers/op")
+			})
+		}
+	}
+}

@@ -301,11 +301,26 @@ func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
 // Drop can purge by prefix; the registration generation keeps a dropped-
 // and-re-registered name (whose versions restart at 1) apart from fills
 // still in flight against the old registration; the version makes entries
-// for superseded snapshots unreachable immediately; the shard count is
-// part of the bound state (PrepareShards bakes shard plans into the union
-// plan).
-func bindKey(name string, gen, version uint64, fingerprint string, shards int) string {
-	return fmt.Sprintf("%s\x00%d\x00%d\x00%s\x00%d", name, gen, version, fingerprint, shards)
+// for superseded snapshots unreachable immediately; the exec component
+// (see execBindKey) captures the part of the bound state the execution
+// options shape.
+func bindKey(name string, gen, version uint64, fingerprint, exec string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%s\x00%s", name, gen, version, fingerprint, exec)
+}
+
+// execBindKey renders the execution-shaped part of the bound state. For
+// explicit options that is the shard count (PrepareShards bakes shard
+// plans into the union plan). For Auto binds the resolved decision is a
+// pure function of the snapshot (already keyed by name/gen/version), the
+// query fingerprint and the CPU count — so "auto" plus GOMAXPROCS keys it
+// exactly: the same dataset version re-bound after a GOMAXPROCS change
+// recomputes the decision instead of serving one sized for a different
+// machine shape.
+func execBindKey(opts PlanOptions) string {
+	if opts.Auto {
+		return fmt.Sprintf("auto/%d", autoCPUs())
+	}
+	return fmt.Sprintf("%d", opts.Shards)
 }
 
 // BindDataset attaches the prepared query to the dataset's current
@@ -350,11 +365,11 @@ func (pq *PreparedQuery) BindDatasetExecContext(ctx context.Context, ds *Dataset
 	if ds.cat == nil {
 		// Anonymous one-shot dataset: nothing to share, bind directly
 		// (and cancellably) against the pinned snapshot.
-		bq, err = pq.bindInstance(ctx, snap.inst, opts.Shards)
+		bq, err = pq.bindInstance(ctx, snap.inst, opts)
 	} else {
-		bq, hit, err = ds.cat.binds.Get(bindKey(snap.name, ds.gen, snap.version, pq.fingerprint, opts.Shards),
+		bq, hit, err = ds.cat.binds.Get(bindKey(snap.name, ds.gen, snap.version, pq.fingerprint, execBindKey(opts)),
 			func() (*boundQuery, error) {
-				return pq.bindInstance(context.WithoutCancel(ctx), snap.inst, opts.Shards)
+				return pq.bindInstance(context.WithoutCancel(ctx), snap.inst, opts)
 			})
 	}
 	if err != nil {

@@ -263,11 +263,11 @@ func TestDropAndReregisterDoesNotReuseOldBinds(t *testing.T) {
 	// Simulate the in-flight-fill window directly: land a stale entry for
 	// the old registration's key after the purge; the new registration's
 	// key must not reach it.
-	stale, err := pq.bindInstance(context.Background(), example2SmallInstance(), 0)
+	stale, err := pq.bindInstance(context.Background(), example2SmallInstance(), PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat.binds.Get(bindKey("d", ds1.gen, 1, pq.Fingerprint(), 0),
+	cat.binds.Get(bindKey("d", ds1.gen, 1, pq.Fingerprint(), "0"),
 		func() (*boundQuery, error) { return stale, nil })
 	if p, err := pq.BindDataset(ds2); err != nil || p.Count() != 8 {
 		t.Errorf("stale old-generation entry leaked into the new registration (count=%d err=%v)", p.Count(), err)

@@ -42,14 +42,26 @@ type Result struct {
 
 // Snapshot is the BENCH_*.json file format.
 type Snapshot struct {
-	Schema     int      `json:"schema"`
-	Note       string   `json:"note,omitempty"`
+	Schema int    `json:"schema"`
+	Note   string `json:"note,omitempty"`
+	// GOMAXPROCS is the core count the benchmarks ran with, recovered from
+	// the -<N> name suffix. Parallel benchmark timings are only comparable
+	// between snapshots taken at the same count — the gate skips them
+	// otherwise instead of reporting phantom regressions.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// CPU echoes the `cpu:` line of the bench output, for provenance.
+	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
 // benchLine matches one `go test -bench` result line; the trailing
-// -<GOMAXPROCS> suffix is stripped so snapshots compare across machines.
+// -<GOMAXPROCS> suffix is stripped from the name so snapshots compare
+// across machines (and recorded in the snapshot header so the gate knows
+// when they should not be compared).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// cpuLine matches the `cpu:` provenance line go test prints once.
+var cpuLine = regexp.MustCompile(`^cpu:\s+(.+)$`)
 
 var (
 	bPerOpRe      = regexp.MustCompile(`([0-9.]+) B/op`)
@@ -66,14 +78,25 @@ type sample struct {
 func Parse(r io.Reader) (*Snapshot, error) {
 	samples := make(map[string][]sample)
 	var order []string
+	gomaxprocs := 0
+	cpu := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
+		if cm := cpuLine.FindStringSubmatch(sc.Text()); cm != nil {
+			cpu = cm[1]
+			continue
+		}
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
 		name := m[1]
+		if m[2] != "" {
+			if n, err := strconv.Atoi(m[2][1:]); err == nil {
+				gomaxprocs = n
+			}
+		}
 		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
@@ -96,7 +119,7 @@ func Parse(r io.Reader) (*Snapshot, error) {
 	if len(order) == 0 {
 		return nil, fmt.Errorf("benchgate: no benchmark lines found")
 	}
-	snap := &Snapshot{Schema: 1}
+	snap := &Snapshot{Schema: 1, GOMAXPROCS: gomaxprocs, CPU: cpu}
 	for _, name := range order {
 		ss := samples[name]
 		snap.Benchmarks = append(snap.Benchmarks, Result{
@@ -131,7 +154,18 @@ type Comparison struct {
 	Matched []Ratio
 	// Geomean is the geometric mean of the matched ratios.
 	Geomean float64
+	// Skipped lists benchmarks excluded from the gate because their
+	// timings depend on the core count and the two snapshots were taken at
+	// different GOMAXPROCS.
+	Skipped []string
 }
+
+// parallelBench matches the benchmarks whose ns/op scales with the core
+// count — the parallel, sharded, work-stealing and auto-mode experiments.
+// Comparing their timings across machines with different parallelism
+// measures the hardware, not the code, so the gate skips them (with a
+// warning) when the snapshots' GOMAXPROCS differ.
+var parallelBench = regexp.MustCompile(`^BenchmarkE1[2-8]`)
 
 // Ratio is one benchmark's regression factor.
 type Ratio struct {
@@ -148,6 +182,10 @@ func Compare(baseline, current *Snapshot, filter *regexp.Regexp) (*Comparison, e
 	for _, r := range baseline.Benchmarks {
 		base[r.Name] = r
 	}
+	// Core counts are comparable when both snapshots recorded one and they
+	// agree; legacy snapshots without the field gate everything, as before.
+	coresDiffer := baseline.GOMAXPROCS > 0 && current.GOMAXPROCS > 0 &&
+		baseline.GOMAXPROCS != current.GOMAXPROCS
 	cmp := &Comparison{}
 	logSum := 0.0
 	for _, cur := range current.Benchmarks {
@@ -158,11 +196,22 @@ func Compare(baseline, current *Snapshot, filter *regexp.Regexp) (*Comparison, e
 		if !ok || b.NsPerOp <= 0 || cur.NsPerOp <= 0 {
 			continue
 		}
+		if coresDiffer && parallelBench.MatchString(cur.Name) {
+			cmp.Skipped = append(cmp.Skipped, cur.Name)
+			continue
+		}
 		f := cur.NsPerOp / b.NsPerOp
 		cmp.Matched = append(cmp.Matched, Ratio{Name: cur.Name, Base: b.NsPerOp, Current: cur.NsPerOp, Factor: f})
 		logSum += math.Log(f)
 	}
 	if len(cmp.Matched) == 0 {
+		if len(cmp.Skipped) > 0 {
+			// Everything the filter selected is core-count-sensitive and the
+			// counts differ: nothing to gate, which is a warning, not a
+			// failure.
+			cmp.Geomean = 1
+			return cmp, nil
+		}
 		return nil, fmt.Errorf("benchgate: no benchmarks matched between baseline and current")
 	}
 	cmp.Geomean = math.Exp(logSum / float64(len(cmp.Matched)))
@@ -242,6 +291,13 @@ func main() {
 		cmp, err := Compare(bs, cs, filter)
 		if err != nil {
 			fatal(err)
+		}
+		if len(cmp.Skipped) > 0 {
+			fmt.Printf("benchgate: WARNING: baseline ran at GOMAXPROCS=%d, current at %d; skipping %d core-count-sensitive benchmarks:\n",
+				bs.GOMAXPROCS, cs.GOMAXPROCS, len(cmp.Skipped))
+			for _, name := range cmp.Skipped {
+				fmt.Printf("    skip %s\n", name)
+			}
 		}
 		fmt.Printf("benchgate: %d benchmarks gated, geomean ratio %.3f (threshold %.2f)\n",
 			len(cmp.Matched), cmp.Geomean, *threshold)

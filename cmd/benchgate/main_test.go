@@ -43,6 +43,12 @@ func TestParseAggregatesMedians(t *testing.T) {
 	if ts.BPerOp != 300000 || ts.AllocsPerOp != 5 {
 		t.Fatalf("tupleset memory metrics = %+v", ts)
 	}
+	if snap.GOMAXPROCS != 8 {
+		t.Errorf("GOMAXPROCS = %d, want 8 (from the -8 name suffix)", snap.GOMAXPROCS)
+	}
+	if snap.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("CPU = %q, want the cpu: line", snap.CPU)
+	}
 }
 
 func TestParseRejectsEmptyInput(t *testing.T) {
@@ -94,5 +100,74 @@ func TestCompareNoOverlapErrors(t *testing.T) {
 	cur := snapOf(map[string]float64{"B": 1})
 	if _, err := Compare(base, cur, nil); err == nil {
 		t.Fatal("disjoint snapshots accepted")
+	}
+}
+
+// TestCompareSkipsParallelOnCoreMismatch pins the honesty rule: when the
+// snapshots ran at different GOMAXPROCS, the core-count-sensitive
+// benchmarks (E12–E18) are skipped — their "regression" would measure the
+// machine — while scalar benchmarks still gate.
+func TestCompareSkipsParallelOnCoreMismatch(t *testing.T) {
+	mk := func(procs int, parallelNs float64) *Snapshot {
+		s := snapOf(map[string]float64{
+			"BenchmarkE12UnionParallelVsSequential/parallel": parallelNs,
+			"BenchmarkE18AutoModeSelection/auto":             parallelNs,
+			"BenchmarkE1FreeConnexCQ":                        100,
+		})
+		s.GOMAXPROCS = procs
+		return s
+	}
+
+	// Same core count: everything gates, nothing is skipped.
+	cmp, err := Compare(mk(8, 100), mk(8, 100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Skipped) != 0 || len(cmp.Matched) != 3 {
+		t.Fatalf("same cores: matched %d skipped %v, want 3/none", len(cmp.Matched), cmp.Skipped)
+	}
+
+	// Different core counts: the parallel pair is skipped even though its
+	// ratio (8x) would blow any threshold; the scalar bench still gates.
+	cmp, err = Compare(mk(8, 100), mk(2, 800), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Skipped) != 2 {
+		t.Fatalf("differing cores: skipped %v, want the two E1x parallel benchmarks", cmp.Skipped)
+	}
+	if len(cmp.Matched) != 1 || cmp.Matched[0].Name != "BenchmarkE1FreeConnexCQ" {
+		t.Fatalf("differing cores: matched %+v, want only the scalar benchmark", cmp.Matched)
+	}
+	if cmp.Geomean != 1.0 {
+		t.Fatalf("geomean = %f, want 1.0", cmp.Geomean)
+	}
+
+	// Legacy snapshots without the field keep gating everything.
+	legacyBase := mk(0, 100)
+	legacyCur := mk(8, 100)
+	cmp, err = Compare(legacyBase, legacyCur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Skipped) != 0 || len(cmp.Matched) != 3 {
+		t.Fatalf("legacy snapshot: matched %d skipped %v, want 3/none", len(cmp.Matched), cmp.Skipped)
+	}
+}
+
+// TestCompareAllSkippedIsNotAnError pins that a gate whose entire filtered
+// set is skipped for core mismatch warns instead of failing.
+func TestCompareAllSkippedIsNotAnError(t *testing.T) {
+	mk := func(procs int) *Snapshot {
+		s := snapOf(map[string]float64{"BenchmarkE15Sharded/x": 100})
+		s.GOMAXPROCS = procs
+		return s
+	}
+	cmp, err := Compare(mk(8), mk(4), nil)
+	if err != nil {
+		t.Fatalf("all-skipped comparison errored: %v", err)
+	}
+	if len(cmp.Skipped) != 1 || cmp.Geomean != 1.0 {
+		t.Fatalf("all-skipped comparison = %+v", cmp)
 	}
 }

@@ -10,6 +10,13 @@
 // CSV rows are comma/space/semicolon-separated integers; '#' starts a
 // comment line.
 //
+// When none of -parallel, -batch, -shards, -workers is given, the
+// planner's cost model resolves them per bind from the instance
+// (adaptive execution); the resolved decision is reported on stderr. Any
+// explicit knob pins manual execution. With -count and no -limit,
+// certified single-branch plans answer from the Theorem 12 counting pass
+// without enumerating.
+//
 // With -dataset the relations are registered as a named dataset in an
 // in-process catalog and the query is evaluated through
 // Prepare/BindDataset — the same code path the server's
@@ -104,6 +111,12 @@ func main() {
 		Shards:        *shards,
 		Workers:       *workers,
 	}
+	// No explicit execution knob: let the cost model pick mode, shards and
+	// workers per bind. Any hand-picked flag keeps the manual path
+	// byte-identical.
+	if !*parallel && *batch == 0 && *shards == 0 && *workers == 0 {
+		opts.Auto = true
+	}
 	plan, err := newPlan(u, inst, opts, dsName)
 	if err != nil {
 		var oe *ucq.OptionsError
@@ -118,6 +131,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation (dataset %s v%d)\n", plan.Mode, plan.DatasetName(), plan.DatasetVersion())
 	} else {
 		fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation\n", plan.Mode)
+	}
+	if d := plan.Decision(); d != nil {
+		fmt.Fprintf(os.Stderr, "ucq-run: auto decision: %s\n", d)
+	}
+
+	// Count-only with no limit: certified single-branch plans know their
+	// answer count from the counting pass — skip the enumeration entirely.
+	if *countOnly && *limit == 0 {
+		if n, exact := plan.CountExact(); exact {
+			fmt.Fprintln(os.Stderr, "ucq-run: count from counting pass (no enumeration)")
+			fmt.Println(n)
+			return
+		}
 	}
 
 	it := plan.Iterator()

@@ -26,9 +26,21 @@
 //	                              is served from the versioned bind cache,
 //	                              so repeated queries skip straight to
 //	                              enumeration
-//	GET    /stats                 cache, bind-cache, dataset, delay and
-//	                              cancellation counters as JSON
+//	POST   /datasets/{name}/count answer with the exact answer count only:
+//	                              certified single-branch plans count from
+//	                              the Theorem 12 counting pass without
+//	                              enumerating (also available anywhere via
+//	                              options.count_only)
+//	GET    /stats                 cache, bind-cache, dataset, delay,
+//	                              cancellation and auto-decision counters
+//	                              as JSON
 //	GET    /healthz               liveness probe
+//
+// Execution is adaptive by default: when a request sets none of the
+// parallel/batch/shards/workers options, the planner's cost model picks
+// the strategy per bind from the bound instance; /stats reports the
+// decision mix under decision_modes. Any explicit knob pins manual
+// execution.
 //
 // Cancellation is end to end: a client disconnect mid-stream cancels the
 // request context, which stops the enumeration's work-stealing executor

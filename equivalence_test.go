@@ -79,6 +79,9 @@ func TestCrossEngineEquivalence(t *testing.T) {
 			{"sharded-2", &PlanOptions{Parallel: true, Shards: 2}},
 			{"sharded-8", &PlanOptions{Parallel: true, Shards: 8}},
 			{"sharded-2-workers4", &PlanOptions{Parallel: true, Shards: 2, Workers: 4, ParallelBatch: 2}},
+			// The cost model resolves its own knobs per bind; whatever it
+			// picks must agree with every hand-picked strategy.
+			{"auto", &PlanOptions{Auto: true}},
 		}
 		for _, e := range execs {
 			p, err := pq.BindExec(inst, e.opts)
@@ -122,6 +125,62 @@ func TestCrossEngineEquivalence(t *testing.T) {
 	}
 	t.Logf("cross-engine equivalence: %d cases, %d constant-delay, %d naive-only",
 		cases, constantDelay, cases-constantDelay)
+}
+
+// TestCrossEngineEquivalenceCyclic runs the cross-engine harness over
+// unions with a forced cyclic member — the non-free-connex side of the
+// dichotomy, where evaluation must fall back off the Theorem 12 pipeline.
+// The cyclic generator guarantees coverage the plain RandomUCQ sweep only
+// reaches by accident.
+func TestCrossEngineEquivalenceCyclic(t *testing.T) {
+	const cases = 120
+	rng := rand.New(rand.NewSource(20260807))
+	cyclicMembers := 0
+	for i := 0; i < cases; i++ {
+		u := workload.RandomCyclicUCQ(rng)
+		for _, q := range u.CQs {
+			if ClassifyCQ(q) == Cyclic {
+				cyclicMembers++
+			}
+		}
+		rows := 8 + rng.Intn(20)
+		width := int64(2 + rng.Intn(4))
+		inst := workload.RandomForQuery(u, rows, width, rng.Int63())
+
+		naive, err := NewPlan(u, inst, &PlanOptions{ForceNaive: true})
+		if err != nil {
+			t.Fatalf("case %d: naive plan: %v\n%s", i, err, u)
+		}
+		want := canonicalAnswers(t, naive)
+
+		pq, err := Prepare(u, nil)
+		if err != nil {
+			t.Fatalf("case %d: prepare: %v\n%s", i, err, u)
+		}
+		execs := []struct {
+			name string
+			opts *PlanOptions
+		}{
+			{"sequential", nil},
+			{"parallel", &PlanOptions{Parallel: true}},
+			{"sharded-2", &PlanOptions{Parallel: true, Shards: 2}},
+			{"auto", &PlanOptions{Auto: true}},
+		}
+		for _, e := range execs {
+			p, err := pq.BindExec(inst, e.opts)
+			if err != nil {
+				t.Fatalf("case %d: bind %s: %v\n%s", i, e.name, err, u)
+			}
+			if got := canonicalAnswers(t, p); got != want {
+				t.Fatalf("case %d: %s (%s mode) disagrees with naive on\n%s\nnaive:\n%s\n%s:\n%s",
+					i, e.name, p.Mode, u, want, e.name, got)
+			}
+		}
+	}
+	if cyclicMembers == 0 {
+		t.Error("no cyclic member CQs generated; RandomCyclicUCQ regressed")
+	}
+	t.Logf("cyclic arm: %d cases, %d cyclic member CQs", cases, cyclicMembers)
 }
 
 // TestCrossEngineEquivalenceFDs is the FD-aware arm of the cross-engine

@@ -280,13 +280,14 @@ func (p *UnionPlan) IteratorParallelCtx(ctx context.Context, opts ExecOptions) *
 	return enumeration.NewParallelUnionTasks(ctx, p.U.Arity(), uo, tasks)
 }
 
-// sizeHint lazily computes and caches the union's summed branch cardinality
-// — the bonus answers plus each member plan's exact output count — so the
-// merge's dedup set is allocated at its final size up front and the hot
-// path never pays a growth rehash. Cross-branch duplicates make this an
-// upper bound on the distinct answer count, which is the right direction
-// for a sizing hint.
-func (p *UnionPlan) sizeHint() int {
+// AnswerEstimate lazily computes and caches the union's summed branch
+// cardinality — the bonus answers plus each member plan's exact output
+// count (one linear counting pass per branch, no enumeration).
+// Cross-branch duplicates make this an upper bound on the distinct answer
+// count; for a single-branch union with no bonus answers it is exact. The
+// parallel merge pre-sizes its dedup set from it, and the cost model reads
+// it as the output-volume input of the mode decision.
+func (p *UnionPlan) AnswerEstimate() int64 {
 	est := p.estimate.Load()
 	if est < 0 {
 		est = int64(len(p.bonus))
@@ -295,6 +296,26 @@ func (p *UnionPlan) sizeHint() int {
 		}
 		p.estimate.Store(est)
 	}
+	return est
+}
+
+// ExactCount returns the union's answer count without enumerating, when
+// the pipeline is duplicate-free by construction: a single certified
+// extension with no bonus answers enumerates each answer exactly once, so
+// its counting pass (yannakakis CountAnswers) is the answer count. ok is
+// false when the union has several branches or provider bonus answers —
+// cross-branch duplicates then make counting require deduplication, i.e.
+// enumeration.
+func (p *UnionPlan) ExactCount() (int64, bool) {
+	if len(p.plans) == 1 && len(p.bonus) == 0 {
+		return p.plans[0].CountAnswers(), true
+	}
+	return 0, false
+}
+
+// sizeHint clamps AnswerEstimate onto the merge's pre-sizing range.
+func (p *UnionPlan) sizeHint() int {
+	est := p.AnswerEstimate()
 	if est > enumeration.MaxSizeHint {
 		return enumeration.MaxSizeHint
 	}

@@ -136,28 +136,57 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 // preprocessing from the bind cache, so a warm (query, dataset) pair does
 // no planning work at all before the first answer.
 func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
+	req, plan, meta, ok := s.bindDatasetPlan(w, r)
+	if !ok {
+		return
+	}
+	if req.Options.CountOnly {
+		s.respondCount(w, r, plan, meta)
+		return
+	}
+	s.stream(w, r, plan, meta, req.Limit)
+}
+
+// handleDatasetCount is POST /datasets/{name}/count: the same decode and
+// bind path as a dataset query, but the response is a single
+// CountResponse object — certified single-branch plans answer straight
+// from the Theorem 12 counting pass without enumerating. Equivalent to a
+// dataset query with options.count_only.
+func (s *Server) handleDatasetCount(w http.ResponseWriter, r *http.Request) {
+	_, plan, meta, ok := s.bindDatasetPlan(w, r)
+	if !ok {
+		return
+	}
+	s.respondCount(w, r, plan, meta)
+}
+
+// bindDatasetPlan decodes a dataset request and binds its query against
+// the named dataset's current snapshot, handling errors (ok=false means
+// the response is already written). Shared by the query and count
+// endpoints.
+func (s *Server) bindDatasetPlan(w http.ResponseWriter, r *http.Request) (QueryRequest, *ucq.Plan, streamMeta, bool) {
 	s.stats.requests.Add(1)
 	name := r.PathValue("name")
 
 	req, u, mode, exec, ok := s.decodeQuery(w, r)
 	if !ok {
-		return
+		return req, nil, streamMeta{}, false
 	}
 	if len(req.Relations) > 0 {
 		s.httpError(w, http.StatusBadRequest,
 			"inline relations are not allowed on dataset queries; PUT /datasets/%s instead", name)
-		return
+		return req, nil, streamMeta{}, false
 	}
 	ds, ok := s.catalog.Dataset(name)
 	if !ok {
 		s.httpError(w, http.StatusNotFound, "no dataset %q", name)
-		return
+		return req, nil, streamMeta{}, false
 	}
 
 	pq, hit, err := s.prepared(mode, u)
 	if err != nil {
 		s.planError(w, err)
-		return
+		return req, nil, streamMeta{}, false
 	}
 
 	// The per-instance half: Theorem 12 preprocessing on a bind-cache
@@ -168,20 +197,21 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.stats.requestsCancelled.Add(1)
-			return
+			return req, nil, streamMeta{}, false
 		}
 		s.planError(w, err)
-		return
+		return req, nil, streamMeta{}, false
 	}
+	s.recordDecision(plan)
 
 	s.dsMu.Lock()
 	s.dsQueries[name]++
 	s.dsMu.Unlock()
 
-	s.stream(w, r, plan, streamMeta{
+	return req, plan, streamMeta{
 		cache:     cacheState(hit),
 		bind:      cacheState(plan.BindCacheHit()),
 		dataset:   plan.DatasetName(),
 		dsVersion: plan.DatasetVersion(),
-	}, req.Limit)
+	}, true
 }

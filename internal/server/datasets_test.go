@@ -195,14 +195,23 @@ func TestDatasetQueryBindCacheHit(t *testing.T) {
 		t.Errorf("dataset gauges = %+v, want d with 2 queries", st.Datasets)
 	}
 
-	// A different execution strategy still reuses the cached bind (shards
-	// are part of the key, plain parallel is not).
+	// An explicit execution strategy binds separately from the auto
+	// entries above: auto binds carry a cost decision that must never leak
+	// onto a hand-picked request, so the exec component of the key differs.
+	// A second identical explicit request then hits its own entry.
+	_, tr = queryDataset(t, ts.URL, "d", QueryRequest{
+		Query:   example2,
+		Options: QueryOptions{Parallel: true},
+	})
+	if tr.Bind != "miss" {
+		t.Errorf("parallel query trailer = %+v, want bind=miss (auto and explicit binds do not share entries)", tr)
+	}
 	_, tr = queryDataset(t, ts.URL, "d", QueryRequest{
 		Query:   example2,
 		Options: QueryOptions{Parallel: true},
 	})
 	if tr.Bind != "hit" {
-		t.Errorf("parallel query trailer = %+v, want bind=hit", tr)
+		t.Errorf("repeated parallel query trailer = %+v, want bind=hit", tr)
 	}
 
 	// Replacing the dataset invalidates the bind: fresh preprocessing on

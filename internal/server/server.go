@@ -111,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /datasets/{name}", s.handleDatasetGet)
 	mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
 	mux.HandleFunc("POST /datasets/{name}/query", s.handleDatasetQuery)
+	mux.HandleFunc("POST /datasets/{name}/count", s.handleDatasetCount)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -143,8 +144,13 @@ func (s *Server) StatsSnapshot() Snapshot {
 		PlansPrepared:     s.stats.plansPrepared.Load(),
 		Cache:             s.cache.Stats(),
 		BindCache:         cacheStatsFrom(s.catalog.BindCacheStats()),
-		Datasets:          gauges,
-		Delays:            s.stats.delays(),
+		DecisionModes: map[string]int64{
+			"sequential": s.stats.decisionSequential.Load(),
+			"parallel":   s.stats.decisionParallel.Load(),
+			"sharded":    s.stats.decisionSharded.Load(),
+		},
+		Datasets: gauges,
+		Delays:   s.stats.delays(),
 	}
 }
 
@@ -210,7 +216,30 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (req QueryR
 		Shards:        req.Options.Shards,
 		Workers:       req.Options.Workers,
 	}
+	// Cost-based execution is the default: with no explicit knob the
+	// planner picks mode, shards and workers per bind (and /stats counts
+	// the decisions). Any explicit knob pins manual execution — the
+	// hand-picked path stays byte-identical.
+	if !req.Options.Parallel && req.Options.Batch == 0 && req.Options.Shards == 0 && req.Options.Workers == 0 {
+		exec.Auto = true
+	}
 	return req, u, mode, exec, true
+}
+
+// recordDecision counts an Auto bind's resolved strategy in /stats.
+func (s *Server) recordDecision(plan *ucq.Plan) {
+	d := plan.Decision()
+	if d == nil {
+		return
+	}
+	switch d.Kind {
+	case "sharded":
+		s.stats.decisionSharded.Add(1)
+	case "parallel":
+		s.stats.decisionParallel.Add(1)
+	default:
+		s.stats.decisionSequential.Add(1)
+	}
 }
 
 // prepared serves the instance-independent preparation from the LRU cache.
@@ -259,8 +288,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.planError(w, err)
 		return
 	}
+	s.recordDecision(plan)
 
-	s.stream(w, r, plan, streamMeta{cache: cacheState(hit)}, req.Limit)
+	meta := streamMeta{cache: cacheState(hit)}
+	if req.Options.CountOnly {
+		s.respondCount(w, r, plan, meta)
+		return
+	}
+	s.stream(w, r, plan, meta, req.Limit)
+}
+
+// respondCount answers a count-only evaluation: certified single-branch
+// plans count from the Theorem 12 counting pass without enumerating a
+// single answer; everything else (multi-branch unions, naive plans)
+// enumerates under the request context and counts server-side. Either way
+// the client gets one JSON object and no stream.
+func (s *Server) respondCount(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, meta streamMeta) {
+	n, exact := plan.CountExact()
+	method := "count-answers"
+	if !exact {
+		method = "enumerate"
+		n = 0
+		for range plan.All(r.Context()) {
+			n++
+		}
+		if r.Context().Err() != nil {
+			s.stats.requestsCancelled.Add(1)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
+	w.Header().Set("X-Ucq-Cache", meta.cache)
+	if meta.bind != "" {
+		w.Header().Set("X-Ucq-Bind", meta.bind)
+		w.Header().Set("X-Ucq-Dataset-Version", fmt.Sprint(meta.dsVersion))
+	}
+	_ = json.NewEncoder(w).Encode(CountResponse{
+		Count:          n,
+		Mode:           plan.Mode.String(),
+		Method:         method,
+		Cache:          meta.cache,
+		Dataset:        meta.dataset,
+		DatasetVersion: meta.dsVersion,
+		Bind:           meta.bind,
+	})
+	s.stats.streamsCompleted.Add(1)
 }
 
 // cacheState renders a hit bool as the wire's "hit"/"miss".

@@ -32,6 +32,13 @@ type Stats struct {
 	requestsCancelled atomic.Int64
 	plansPrepared     atomic.Int64
 
+	// Auto-bind decision counters, by resolved strategy. A shifting mix —
+	// e.g. sharded picks collapsing to sequential after a data change — is
+	// the observable trace of a planner regression.
+	decisionSequential atomic.Int64
+	decisionParallel   atomic.Int64
+	decisionSharded    atomic.Int64
+
 	mu   sync.Mutex
 	ring [delayWindow]reqTiming
 	next int
@@ -78,6 +85,10 @@ type Snapshot struct {
 	// preprocessing runs for dataset queries, hits are dataset binds served
 	// without one.
 	BindCache CacheStats `json:"bind_cache"`
+	// DecisionModes counts cost-based (auto) binds by the strategy the
+	// planner resolved: "sequential", "parallel" or "sharded". Explicit
+	// execution options are not counted — no decision was made.
+	DecisionModes map[string]int64 `json:"decision_modes"`
 	// Datasets gauges every registered dataset (sorted by name).
 	Datasets []DatasetGauge   `json:"datasets,omitempty"`
 	Delays   DelayPercentiles `json:"delays"`

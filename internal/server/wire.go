@@ -22,7 +22,10 @@ type QueryOptions struct {
 	// Mode is "auto" (certify, fall back to naive; the default) or
 	// "naive" (skip certification).
 	Mode string `json:"mode,omitempty"`
-	// Parallel drains union branches concurrently.
+	// Parallel drains union branches concurrently. When no execution knob
+	// (parallel, batch, shards, workers) is set, the planner's cost model
+	// resolves them per bind instead — auto execution is the default; any
+	// explicit knob pins manual execution.
 	Parallel bool `json:"parallel,omitempty"`
 	// Batch is the parallel batch size per worker (0 = default).
 	Batch int `json:"batch,omitempty"`
@@ -32,6 +35,11 @@ type QueryOptions struct {
 	// Workers bounds the work-stealing executor pool for this request
 	// (requires Parallel; 0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// CountOnly answers with a single CountResponse object instead of
+	// streaming: certified single-branch plans count from the Theorem 12
+	// counting pass without enumerating; everything else enumerates and
+	// counts server-side.
+	CountOnly bool `json:"count_only,omitempty"`
 }
 
 // Trailer is the final NDJSON line of a /query response — the only line
@@ -50,6 +58,23 @@ type Trailer struct {
 	// Bind is "hit" when the per-instance preprocessing was served from the
 	// bind cache, "miss" when this request computed (and cached) it.
 	Bind string `json:"bind,omitempty"`
+}
+
+// CountResponse is the body of a count-only evaluation — the options'
+// count_only flag or POST /datasets/{name}/count. No answers are
+// streamed; the count is exact either way.
+type CountResponse struct {
+	Count int64  `json:"count"`
+	Mode  string `json:"mode"`
+	// Method is "count-answers" when the count came from the Theorem 12
+	// counting pass without enumeration (certified single-branch plans),
+	// "enumerate" when cross-branch deduplication forced an enumeration.
+	Method string `json:"method"`
+	Cache  string `json:"cache"`
+	// Dataset fields mirror the Trailer's (dataset endpoints only).
+	Dataset        string `json:"dataset,omitempty"`
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
+	Bind           string `json:"bind,omitempty"`
 }
 
 // DatasetRequest is the PUT /datasets/{name} body: the relations in the

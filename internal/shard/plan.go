@@ -121,14 +121,18 @@ func skewLimit(n int) float64 {
 
 // ChooseAndPartition picks a partition attribute for q and materialises the
 // sharding, preferring disjoint (head-variable) candidates and screening
-// each candidate's balance with a count-only pass before committing — a
-// skewed join key would concentrate the fan-out on one shard. When every
-// candidate routes too unevenly, a head candidate is still accepted (its
-// disjoint shard streams let the merge skip deduplication, which pays for
-// itself regardless of balance) but a lone existential one is not: a skewed
-// sharding with dedup still on is pure overhead, so the planner reports
-// false and the caller evaluates unsharded. False is also reported when q
-// has no safe attribute at all.
+// each candidate's balance before committing — a skewed join key would
+// concentrate the fan-out on one shard. Balance is judged on both the
+// input rows (a count-only routing pass) and the estimated *output* (the
+// sampled join-key-frequency products of MaxOutputShare): an attribute
+// that splits the rows evenly can still send nearly all of the join
+// fan-out to one shard, and it is the output the shards must enumerate.
+// When every candidate routes too unevenly, the best-balanced head
+// candidate is still accepted (its disjoint shard streams let the merge
+// skip deduplication, which pays for itself regardless of balance) but a
+// lone existential one is not: a skewed sharding with dedup still on is
+// pure overhead, so the planner reports false and the caller evaluates
+// unsharded. False is also reported when q has no safe attribute at all.
 func ChooseAndPartition(q *cq.CQ, inst *database.Instance, n int) (*Sharding, Candidate, bool) {
 	cands := Candidates(q, inst)
 	if len(cands) == 0 || n < 1 {
@@ -142,11 +146,10 @@ func ChooseAndPartition(q *cq.CQ, inst *database.Instance, n int) (*Sharding, Ca
 		if i >= maxCandidateTries {
 			break
 		}
-		counts, err := PartitionCounts(inst, cand.Key, n)
-		if err != nil {
+		share := CandidateShare(inst, cand.Key, n)
+		if share < 0 {
 			continue
 		}
-		share := maxShare(counts)
 		if n == 1 || share <= limit {
 			s, err := Partition(inst, cand.Key, n)
 			if err != nil {
@@ -166,6 +169,23 @@ func ChooseAndPartition(q *cq.CQ, inst *database.Instance, n int) (*Sharding, Ca
 		return nil, Candidate{}, false
 	}
 	return s, bestHead, true
+}
+
+// CandidateShare scores one candidate sharding's imbalance: the worse of
+// its input share (exact row routing) and estimated output share (sampled
+// join-key-frequency products), each the largest fraction a single shard
+// receives. It returns a value in [0, 1], or -1 when the candidate cannot
+// be scored (invalid key). Lower is better; 1/n is perfectly balanced.
+func CandidateShare(inst *database.Instance, key Key, n int) float64 {
+	counts, err := PartitionCounts(inst, key, n)
+	if err != nil {
+		return -1
+	}
+	share := maxShare(counts)
+	if out := MaxOutputShare(inst, key, n); out > share {
+		share = out
+	}
+	return share
 }
 
 // maxShare returns the largest fraction a single count holds of the total

@@ -1,0 +1,114 @@
+package shard
+
+import "repro/internal/database"
+
+// Output-skew estimation. PartitionCounts measures how evenly a candidate
+// attribute splits the *input* rows, but join output concentrates where
+// per-relation frequencies multiply: a key value holding 1% of every
+// relation's rows holds far more than 1% of the join's output when the
+// relations are large. A candidate that routes inputs evenly can therefore
+// still route almost the whole output to one shard. The estimator below
+// samples per-relation join-key frequencies and weights every sampled key
+// by the product of its frequencies across the partitioned relations —
+// the number of output tuples the key can contribute to their join — and
+// accumulates the weights per shard with the same hash routing Partition
+// uses.
+
+// skewSampleCap bounds the rows examined per relation while estimating
+// output skew; larger relations are stride-sampled and the frequencies
+// scaled back up, keeping the probe O(sampleCap) per relation.
+const skewSampleCap = 4096
+
+// keyFrequencies counts rows per join-key value in column col of r,
+// stride-sampling at most cap rows and scaling the counts by the stride so
+// the totals remain comparable across relations of different sizes.
+func keyFrequencies(r *database.Relation, col, limit int) map[database.Value]float64 {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	stride := 1
+	if n > limit {
+		stride = (n + limit - 1) / limit
+	}
+	freq := make(map[database.Value]float64, limit)
+	for i := 0; i < n; i += stride {
+		freq[r.Row(i)[col]] += float64(stride)
+	}
+	return freq
+}
+
+// EstimateOutputWeights estimates the per-shard share of the join output a
+// prospective sharding would produce: for each partitioned relation the
+// per-key frequencies are (sample-)counted, each key surviving in every
+// relation is weighted by the product of its frequencies, and the weight
+// is routed to the shard the key hashes to. The result sums the weights
+// per shard; nil when the estimate degenerates (no partitioned rows or an
+// empty join). The weights are an estimate of output volume, not answer
+// count — projections and other atoms scale all shards alike, which
+// cancels in the share.
+func EstimateOutputWeights(inst *database.Instance, key Key, n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	freqs := make([]map[database.Value]float64, 0, len(key))
+	smallest := -1
+	for name, col := range key {
+		r := inst.Relation(name)
+		if r == nil || r.Len() == 0 {
+			return nil
+		}
+		f := keyFrequencies(r, col, skewSampleCap)
+		freqs = append(freqs, f)
+		if smallest < 0 || len(f) < len(freqs[smallest]) {
+			smallest = len(freqs) - 1
+		}
+	}
+	if len(freqs) == 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	keyTuple := make(database.Tuple, 1)
+	for v := range freqs[smallest] {
+		w := 1.0
+		for _, f := range freqs {
+			c, ok := f[v]
+			if !ok {
+				// Sampling can miss a key present in the relation; treat a
+				// miss as one row rather than dropping the key outright, so
+				// heavy keys elsewhere still register.
+				c = 1
+			}
+			w *= c
+		}
+		keyTuple[0] = v
+		weights[keyTuple.Hash()%uint64(n)] += w
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	return weights
+}
+
+// MaxOutputShare returns the largest per-shard fraction of the estimated
+// join output for the candidate sharding, or 0 when no estimate is
+// available (the caller should then fall back to input balance alone).
+func MaxOutputShare(inst *database.Instance, key Key, n int) float64 {
+	weights := EstimateOutputWeights(inst, key, n)
+	if weights == nil {
+		return 0
+	}
+	total, max := 0.0, 0.0
+	for _, w := range weights {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max / total
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+)
+
+// productSkewInstance builds R(y,u), S(y,v) data with one heavy join key:
+// key 1 holds `heavy` rows in both relations, keys 2..2+light hold one row
+// each. The *input* routed by y stays nearly balanced (one moderately
+// heavy value among many light ones), but the join output concentrates —
+// the heavy key contributes heavy² output tuples against the light keys'
+// one each. The u column of R is all-distinct, so partitioning on u is
+// balanced on every measure.
+func productSkewInstance(heavy, light int) *database.Instance {
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	s := database.NewRelation("S", 2)
+	next := int64(1000)
+	for i := 0; i < heavy; i++ {
+		r.AppendInts(1, next)
+		s.AppendInts(1, next+1)
+		next += 2
+	}
+	for k := int64(2); k < int64(2+light); k++ {
+		r.AppendInts(k, next)
+		s.AppendInts(k, next+1)
+		next += 2
+	}
+	inst.AddRelation(r)
+	inst.AddRelation(s)
+	return inst
+}
+
+// TestMaxOutputShareDetectsProductSkew pins the gap the estimator closes:
+// a partition attribute whose input rows route evenly across shards but
+// whose join output — the per-key frequency *products* — lands mostly on
+// one shard. Input balance alone would accept it; the output estimate
+// must flag it.
+func TestMaxOutputShareDetectsProductSkew(t *testing.T) {
+	const n = 8
+	inst := productSkewInstance(20, 380)
+	key := Key{"R": 0, "S": 0}
+
+	counts, err := PartitionCounts(inst, key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := maxShare(counts)
+	if limit := skewLimit(n); input > limit {
+		t.Fatalf("input share %.3f exceeds limit %.3f; instance no longer input-balanced, test is vacuous", input, limit)
+	}
+
+	out := MaxOutputShare(inst, key, n)
+	if limit := skewLimit(n); out <= limit {
+		t.Errorf("output share %.3f ≤ limit %.3f; product skew went undetected (input share %.3f)", out, skewLimit(n), input)
+	}
+	// CandidateShare must carry the worse of the two signals.
+	if got := CandidateShare(inst, key, n); got < out {
+		t.Errorf("CandidateShare = %.3f, want ≥ output share %.3f", got, out)
+	}
+}
+
+// TestChooseAndPartitionAvoidsOutputSkew pins the planner behavior: with
+// two head candidates — y (more atoms, sorts first, output-skewed) and u
+// (fewer atoms, balanced) — ChooseAndPartition must pass over y and
+// commit to u. Before the output estimate, y's even input routing made it
+// the pick.
+func TestChooseAndPartitionAvoidsOutputSkew(t *testing.T) {
+	const n = 8
+	inst := productSkewInstance(20, 380)
+	q, err := cq.NewCQ("Q",
+		[]cq.Variable{"y", "u"},
+		[]cq.Atom{
+			{Rel: "R", Vars: []cq.Variable{"y", "u"}},
+			{Rel: "S", Vars: []cq.Variable{"y", "v"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cands := Candidates(q, inst)
+	if len(cands) < 2 || cands[0].Var != "y" {
+		t.Fatalf("candidate order changed, want y first: %+v", cands)
+	}
+
+	_, chosen, ok := ChooseAndPartition(q, inst, n)
+	if !ok {
+		t.Fatal("no sharding chosen")
+	}
+	if chosen.Var != "u" {
+		t.Errorf("chose %s (share %.3f), want u — y's output skew should disqualify it",
+			chosen.Var, CandidateShare(inst, chosen.Key, n))
+	}
+}
+
+// TestEstimateOutputWeightsDegenerate pins the nil returns: empty
+// relations and invalid shard counts yield no estimate, and
+// MaxOutputShare then reports 0 (unknown) rather than a fake balance.
+func TestEstimateOutputWeightsDegenerate(t *testing.T) {
+	inst := database.NewInstance()
+	inst.AddRelation(database.NewRelation("R", 2))
+	key := Key{"R": 0}
+	if w := EstimateOutputWeights(inst, key, 4); w != nil {
+		t.Errorf("weights over empty relation = %v, want nil", w)
+	}
+	if s := MaxOutputShare(inst, key, 4); s != 0 {
+		t.Errorf("share over empty relation = %v, want 0", s)
+	}
+	if w := EstimateOutputWeights(productSkewInstance(2, 2), key, 0); w != nil {
+		t.Errorf("weights with n=0 = %v, want nil", w)
+	}
+}
+
+// TestKeyFrequenciesSampling pins the stride scaling: sampled totals stay
+// within a factor of the true row count, so shares remain comparable
+// across relations of different sizes.
+func TestKeyFrequenciesSampling(t *testing.T) {
+	r := database.NewRelation("R", 1)
+	const rows = 3 * skewSampleCap
+	for i := 0; i < rows; i++ {
+		r.AppendInts(int64(i % 7))
+	}
+	freq := keyFrequencies(r, 0, skewSampleCap)
+	total := 0.0
+	for _, f := range freq {
+		total += f
+	}
+	if total < rows/2 || total > rows*2 {
+		t.Errorf("scaled sample total %.0f far from true %d rows", total, rows)
+	}
+}

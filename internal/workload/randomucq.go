@@ -81,6 +81,92 @@ func tryRandomUCQ(rng *rand.Rand) (*cq.UCQ, bool) {
 	return u, true
 }
 
+// RandomCyclicUCQ generates a random UCQ in which at least one member CQ
+// is cyclic: one body is a variable cycle of length 3–4 over the pool's
+// binary relations (the triangle/square joins of the hardness side of the
+// dichotomy), the remaining members come from the ordinary generator.
+// Cyclic members push the union off the Theorem 12 pipeline — exactly the
+// non-free-connex region a cross-engine equivalence harness must also
+// cover.
+func RandomCyclicUCQ(rng *rand.Rand) *cq.UCQ {
+	for {
+		if u, ok := tryRandomCyclicUCQ(rng); ok {
+			return u
+		}
+	}
+}
+
+// tryRandomCyclicUCQ mirrors tryRandomUCQ with one body forced cyclic.
+func tryRandomCyclicUCQ(rng *rand.Rand) (*cq.UCQ, bool) {
+	nCQ := 1 + rng.Intn(3)
+	cyclicAt := rng.Intn(nCQ)
+	bodies := make([][]cq.Atom, nCQ)
+	vars := make([][]cq.Variable, nCQ)
+	minVars := -1
+	for i := range bodies {
+		if i == cyclicAt {
+			bodies[i], vars[i] = cyclicBody(rng)
+		} else {
+			bodies[i], vars[i] = randomBody(rng)
+		}
+		if minVars < 0 || len(vars[i]) < minVars {
+			minVars = len(vars[i])
+		}
+	}
+
+	maxArity := minVars
+	if maxArity > 3 {
+		maxArity = 3
+	}
+	arity := 0
+	if rng.Intn(8) != 0 {
+		if maxArity == 0 {
+			return nil, false
+		}
+		arity = 1 + rng.Intn(maxArity)
+	}
+
+	cqs := make([]*cq.CQ, nCQ)
+	for i := range cqs {
+		head := make([]cq.Variable, arity)
+		perm := rng.Perm(len(vars[i]))
+		for j := 0; j < arity; j++ {
+			head[j] = vars[i][perm[j]]
+		}
+		q, err := cq.NewCQ(fmt.Sprintf("Q%d", i+1), head, bodies[i])
+		if err != nil {
+			return nil, false
+		}
+		cqs[i] = q
+	}
+	u, err := cq.NewUCQ(cqs...)
+	if err != nil {
+		return nil, false
+	}
+	return u, true
+}
+
+// cyclicBody builds a chordless variable cycle of length 3 or 4 over the
+// pool's binary relations — R_a(v0,v1), R_b(v1,v2), R_c(v2,v0) and the
+// four-atom analogue. Distinct fresh variables make the join hypergraph a
+// genuine cycle, so the body is cyclic by construction.
+func cyclicBody(rng *rand.Rand) ([]cq.Atom, []cq.Variable) {
+	binary := []string{"R1", "R2", "R3"}
+	n := 3 + rng.Intn(2)
+	vars := make([]cq.Variable, n)
+	for i := range vars {
+		vars[i] = cq.Variable(fmt.Sprintf("v%d", i))
+	}
+	atoms := make([]cq.Atom, n)
+	for i := range atoms {
+		atoms[i] = cq.Atom{
+			Rel:  binary[rng.Intn(len(binary))],
+			Vars: []cq.Variable{vars[i], vars[(i+1)%n]},
+		}
+	}
+	return atoms, vars
+}
+
 // randomBody builds 1–3 atoms over the shared pool. Each argument reuses
 // an already-introduced variable with probability ~0.6, otherwise it is
 // fresh — producing joins, repeated variables within an atom, self-joins

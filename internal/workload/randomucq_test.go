@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/classify"
 	"repro/internal/cq"
 )
 
@@ -38,6 +39,34 @@ func TestRandomUCQWellFormed(t *testing.T) {
 	}
 	if multiCQ == 0 {
 		t.Error("no multi-CQ unions generated")
+	}
+}
+
+func TestRandomCyclicUCQWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		u := RandomCyclicUCQ(rng)
+		if err := u.Validate(); err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, u)
+		}
+		// The defining property: every draw carries a cyclic member.
+		cyclic := false
+		for _, q := range u.CQs {
+			if classify.ClassifyCQ(q) == classify.Cyclic {
+				cyclic = true
+				break
+			}
+		}
+		if !cyclic {
+			t.Fatalf("case %d: no cyclic member in\n%s", i, u)
+		}
+		re, err := cq.Parse(u.String())
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v\n%s", i, err, u)
+		}
+		if re.String() != u.String() {
+			t.Fatalf("case %d: round trip changed the query:\n%s\n%s", i, u, re)
+		}
 	}
 }
 

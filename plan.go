@@ -6,9 +6,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"iter"
+	"runtime"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/database"
 	"repro/internal/enumeration"
 	"repro/internal/homomorphism"
@@ -71,6 +73,16 @@ type PlanOptions struct {
 	// longer serialises on one goroutine. 0 selects GOMAXPROCS. Requires
 	// Parallel.
 	Workers int
+	// Auto lets the planner pick Parallel, Shards and Workers itself at
+	// bind time, from what it already knows about the (query, instance)
+	// pair: relation cardinalities, the exact per-branch answer counts of
+	// the Theorem 12 counting pass, the estimated output skew of the best
+	// partition attribute (sampled join-key frequencies), and GOMAXPROCS.
+	// The resolved knobs and the reason for them are recorded on the plan
+	// (see Plan.Decision) and rendered by Explain. Auto contradicts
+	// explicitly set execution knobs — hand-picked options mean the caller
+	// has decided.
+	Auto bool
 }
 
 // OptionsError reports an invalid PlanOptions combination. NewPlan returns
@@ -92,6 +104,21 @@ func (e *OptionsError) Error() string {
 func (o *PlanOptions) validate() error {
 	if o.ForceNaive && o.RequireConstantDelay {
 		return &OptionsError{Field: "ForceNaive", Reason: "contradicts RequireConstantDelay"}
+	}
+	// Auto contradictions are reported before the pairwise knob rules so
+	// the caller hears about the real conflict — "you asked the planner to
+	// decide and also decided yourself" — not a derived one.
+	if o.Auto {
+		switch {
+		case o.Parallel:
+			return &OptionsError{Field: "Auto", Reason: "contradicts an explicit Parallel"}
+		case o.Shards > 0:
+			return &OptionsError{Field: "Auto", Reason: "contradicts an explicit Shards"}
+		case o.Workers > 0:
+			return &OptionsError{Field: "Auto", Reason: "contradicts an explicit Workers"}
+		case o.ParallelBatch > 0:
+			return &OptionsError{Field: "Auto", Reason: "contradicts an explicit ParallelBatch"}
+		}
 	}
 	if o.ParallelBatch < 0 {
 		return &OptionsError{Field: "ParallelBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", o.ParallelBatch)}
@@ -132,6 +159,9 @@ type Plan struct {
 	batch    int
 	shards   int
 	workers  int
+	// decision is the Auto planner's resolved configuration and
+	// provenance; nil for hand-picked execution options.
+	decision *cost.Decision
 	// ctx is the binding context from BindExecContext: the default parent
 	// for the background work of every Answers stream this plan produces.
 	ctx context.Context
@@ -156,6 +186,61 @@ func (p *Plan) DatasetVersion() uint64 { return p.dsVersion }
 // served from the catalog's bind cache rather than computed (BindDataset
 // only; inline binds never hit the cache).
 func (p *Plan) BindCacheHit() bool { return p.bindHit }
+
+// Decision is the Auto planner's provenance record: the execution knobs it
+// resolved for one bind, why, and the inputs the choice was made from.
+// Surfaced by Plan.Decision, rendered by Explain, and counted per Kind in
+// the server's /stats — a regressed decision should be observable, not a
+// silent slowdown.
+type Decision struct {
+	// Parallel, Shards and Workers are the resolved execution knobs; they
+	// always form a valid PlanOptions combination.
+	Parallel bool
+	Shards   int
+	Workers  int
+	// Kind names the strategy: "sequential", "parallel" or "sharded".
+	Kind string
+	// Reason explains the pick in one sentence.
+	Reason string
+	// Rows, Answers, Branches and CPUs are the decision inputs: instance
+	// tuples, the exact summed branch cardinality (-1 when unknown — the
+	// naive evaluator cannot count without evaluating), union branches,
+	// and GOMAXPROCS at bind time.
+	Rows     int
+	Answers  int64
+	Branches int
+	CPUs     int
+}
+
+// String renders the decision with its reason.
+func (d *Decision) String() string {
+	return fmt.Sprintf("%s (parallel=%v shards=%d workers=%d): %s",
+		d.Kind, d.Parallel, d.Shards, d.Workers, d.Reason)
+}
+
+// Decision returns the Auto planner's provenance for this bind, or nil
+// when the execution options were hand-picked (no decision was made).
+func (p *Plan) Decision() *Decision {
+	if p.decision == nil {
+		return nil
+	}
+	d := p.decision
+	return &Decision{
+		Parallel: d.Parallel,
+		Shards:   d.Shards,
+		Workers:  d.Workers,
+		Kind:     d.Kind(),
+		Reason:   d.Reason,
+		Rows:     d.Inputs.Rows,
+		Answers:  d.Inputs.Answers,
+		Branches: d.Inputs.Branches,
+		CPUs:     d.Inputs.CPUs,
+	}
+}
+
+// autoCPUs reports the parallelism the Auto planner budgets for; a
+// variable so decision tests can pin a core count.
+var autoCPUs = func() int { return runtime.GOMAXPROCS(0) }
 
 // PreparedQuery is the instance-independent half of a plan: the outcome of
 // option validation, containment-based redundancy removal and the
@@ -277,6 +362,7 @@ func (pq *PreparedQuery) execOptions(exec *PlanOptions) (PlanOptions, error) {
 		opts.ParallelBatch = exec.ParallelBatch
 		opts.Shards = exec.Shards
 		opts.Workers = exec.Workers
+		opts.Auto = exec.Auto
 	}
 	return opts, nil
 }
@@ -285,21 +371,40 @@ func (pq *PreparedQuery) execOptions(exec *PlanOptions) (PlanOptions, error) {
 // prepared query to one immutable instance. In constant-delay mode it
 // holds the Theorem 12 union pipeline (with shard plans when sharding was
 // requested); in naive mode it only records that the schema validated.
-// A boundQuery is read-only after bindInstance returns and safe to share
-// across concurrent plans, which is what the catalog's bind cache does.
+// For Auto binds it additionally carries the resolved cost decision — the
+// decision is a pure function of (query, snapshot, CPUs), so caching it
+// with the bound state keeps cache-served plans' provenance and knobs
+// identical to freshly computed ones. A boundQuery is read-only after
+// bindInstance returns and safe to share across concurrent plans, which is
+// what the catalog's bind cache does.
 type boundQuery struct {
 	union *core.UnionPlan // nil in naive mode
+	// decision is the Auto planner's pick; nil for explicit options.
+	decision *cost.Decision
 }
 
 // bindInstance runs the per-instance half of planning: the Theorem 12
-// preprocessing (plus shard preparation when shards > 0) in constant-delay
-// mode, or schema validation in naive mode. ctx aborts a still-running
-// preprocessing between extensions.
-func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, shards int) (*boundQuery, error) {
+// preprocessing (plus shard preparation when sharding was requested or
+// Auto resolved to it) in constant-delay mode, or schema validation in
+// naive mode. With opts.Auto set, the cost model resolves the execution
+// knobs here — this is the first point where the instance, the exact
+// branch counts and the output-skew probe are all in hand. ctx aborts a
+// still-running preprocessing between extensions.
+func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, opts PlanOptions) (*boundQuery, error) {
 	if pq.Mode == ConstantDelay {
 		up, err := core.NewUnionPlanCtx(ctx, pq.Evaluated, pq.Cert, inst)
 		if err != nil {
 			return nil, err
+		}
+		shards := opts.Shards
+		var dec *cost.Decision
+		if opts.Auto {
+			cpus := autoCPUs()
+			in := up.CostInputs(cpus)
+			in.CPUs = cpus
+			d := cost.Decide(in)
+			dec = &d
+			shards = d.Shards
 		}
 		if shards > 0 {
 			if err := ctx.Err(); err != nil {
@@ -309,7 +414,7 @@ func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, shard
 				return nil, err
 			}
 		}
-		return &boundQuery{union: up}, nil
+		return &boundQuery{union: up, decision: dec}, nil
 	}
 	// Validate relations up front so Iterator can't fail later.
 	for _, d := range pq.Query.Schema() {
@@ -321,12 +426,30 @@ func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, shard
 			return nil, fmt.Errorf("ucq: relation %q has arity %d, query uses %d", d.Name, r.Arity(), d.Arity)
 		}
 	}
-	return &boundQuery{}, nil
+	var dec *cost.Decision
+	if opts.Auto {
+		cpus := autoCPUs()
+		d := cost.Decide(cost.Inputs{
+			ConstantDelay: false,
+			Rows:          inst.TupleCount(),
+			Answers:       -1,
+			Branches:      len(pq.Evaluated.CQs),
+			CPUs:          cpus,
+		})
+		dec = &d
+	}
+	return &boundQuery{decision: dec}, nil
 }
 
 // newBoundPlan wraps a bound query in a fresh Plan carrying this binding's
-// execution options and context.
+// execution options and context. An Auto bind takes its execution knobs
+// from the cost decision resolved (or cache-served) with the bound state.
 func (pq *PreparedQuery) newBoundPlan(ctx context.Context, inst *Instance, opts PlanOptions, bq *boundQuery) *Plan {
+	if bq.decision != nil {
+		opts.Parallel = bq.decision.Parallel
+		opts.Shards = bq.decision.Shards
+		opts.Workers = bq.decision.Workers
+	}
 	return &Plan{
 		Query:     pq.Query,
 		Evaluated: pq.Evaluated,
@@ -338,6 +461,7 @@ func (pq *PreparedQuery) newBoundPlan(ctx context.Context, inst *Instance, opts 
 		batch:     opts.ParallelBatch,
 		shards:    opts.Shards,
 		workers:   opts.Workers,
+		decision:  bq.decision,
 		ctx:       ctx,
 	}
 }
@@ -464,18 +588,40 @@ func (p *Plan) Count() int {
 	return n
 }
 
+// CountExact returns the plan's exact answer count without enumerating,
+// when the bound pipeline supports it: a certified plan whose union has a
+// single extension and no provider bonus answers enumerates duplicate-free
+// from one CDY plan, so the Theorem 12 counting pass (one linear pass over
+// the join tree, yannakakis CountAnswers) already is the answer count. ok
+// is false when counting requires cross-branch deduplication, i.e.
+// enumeration — use Count then.
+func (p *Plan) CountExact() (n int64, ok bool) {
+	if p.Mode != ConstantDelay {
+		return 0, false
+	}
+	return p.union.ExactCount()
+}
+
 // Explain renders a human-readable description of the plan: in
 // constant-delay mode, the certified extensions, provider runs and per-CQ
-// engine plans; in naive mode, a one-line notice.
+// engine plans; in naive mode, a one-line notice. Auto binds append the
+// cost decision's provenance: the resolved knobs, the reason, and the
+// inputs the choice was made from.
 func (p *Plan) Explain() string {
+	var s string
 	if p.Mode == ConstantDelay {
-		s := p.union.Explain()
+		s = p.union.Explain()
 		if p.shards > 0 {
 			s += p.union.ExplainShards()
 		}
-		return s
+	} else {
+		s = "naive plan: join and deduplicate (no certificate; no delay guarantee)\n"
 	}
-	return "naive plan: join and deduplicate (no certificate; no delay guarantee)\n"
+	if d := p.Decision(); d != nil {
+		s += fmt.Sprintf("auto decision: %s [rows=%d answers=%d branches=%d cpus=%d]\n",
+			d, d.Rows, d.Answers, d.Branches, d.CPUs)
+	}
+	return s
 }
 
 // Enumerate is the one-call convenience: plan and return the answer stream.
