@@ -105,7 +105,7 @@ func TestCompareNoOverlapErrors(t *testing.T) {
 
 // TestCompareSkipsParallelOnCoreMismatch pins the honesty rule: when the
 // snapshots ran at different GOMAXPROCS, the core-count-sensitive
-// benchmarks (E12–E18) are skipped — their "regression" would measure the
+// benchmarks (E12–E19) are skipped — their "regression" would measure the
 // machine — while scalar benchmarks still gate.
 func TestCompareSkipsParallelOnCoreMismatch(t *testing.T) {
 	mk := func(procs int, parallelNs float64) *Snapshot {

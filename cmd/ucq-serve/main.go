@@ -8,6 +8,9 @@
 //
 //	ucq-serve [-addr :8454] [-cache 128] [-plan-cache-ttl 0] [-bind-cache 256]
 //	          [-bind-cache-ttl 0] [-flush-every 256] [-max-body 67108864]
+//	          [-role single|worker|coordinator] [-workers http://w1:8454,...]
+//	          [-scatter-stall 30s] [-scatter-retries 4] [-scatter-backoff 50ms]
+//	          [-scatter-marker 128]
 //
 // Endpoints:
 //
@@ -42,6 +45,14 @@
 // decision mix under decision_modes. Any explicit knob pins manual
 // execution.
 //
+// Cluster mode: -role coordinator -workers http://w1:8454,http://w2:8454
+// starts a coordinator that replicates dataset writes to every worker and
+// scatters dataset queries across them by root-row ranges, merging the
+// worker streams dedup-free with bounded retries and straggler re-splits
+// (see internal/cluster). Workers are plain servers (-role worker is an
+// alias for the default single-node role; the scatter endpoint exists on
+// every non-coordinator server). The scatter-* flags tune the fan-out.
+//
 // Cancellation is end to end: a client disconnect mid-stream cancels the
 // request context, which stops the enumeration's work-stealing executor
 // and frees its workers. SIGINT/SIGTERM triggers a graceful shutdown that
@@ -67,6 +78,7 @@ import (
 	"time"
 
 	ucq "repro"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -78,16 +90,51 @@ func main() {
 	bindTTL := flag.Duration("bind-cache-ttl", 0, "dataset bind cache TTL (0 = never expire)")
 	flushEvery := flag.Int("flush-every", server.DefaultFlushEvery, "flush the response every N answers (first answer always flushes)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	role := flag.String("role", "single", `process role: "single" or "worker" (serve locally, incl. the scatter endpoint) or "coordinator" (fan dataset work out over -workers)`)
+	workers := flag.String("workers", "", "comma-separated worker base URLs (coordinator role only)")
+	scatterStall := flag.Duration("scatter-stall", cluster.DefaultStallTimeout, "per-worker deadline: cancel a scatter call making no stream progress for this long")
+	scatterRetries := flag.Int("scatter-retries", cluster.DefaultMaxAttempts, "attempts per root range before the query fails")
+	scatterBackoff := flag.Duration("scatter-backoff", cluster.DefaultBackoff, "base backoff between a worker's consecutive failures (doubles per failure)")
+	scatterMarker := flag.Int("scatter-marker", cluster.DefaultMarkerEvery, "ask workers for a progress marker about every N answers")
 	flag.Parse()
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		CacheSize:     *cache,
 		CacheTTL:      *planTTL,
 		BindCacheSize: *bindCache,
 		BindCacheTTL:  *bindTTL,
 		FlushEvery:    *flushEvery,
 		MaxBodyBytes:  *maxBody,
-	})
+	}
+	var s *server.Server
+	switch *role {
+	case "single", "worker":
+		if *workers != "" {
+			log.Fatalf("ucq-serve: -workers requires -role coordinator")
+		}
+		s = server.New(cfg)
+	case "coordinator":
+		list, err := cluster.ParseWorkerList(*workers)
+		if err != nil {
+			log.Fatalf("ucq-serve: -workers: %v", err)
+		}
+		if len(list) == 0 {
+			log.Fatalf("ucq-serve: -role coordinator requires -workers")
+		}
+		cfg.Cluster = cluster.Config{
+			Workers:      list,
+			StallTimeout: *scatterStall,
+			MaxAttempts:  *scatterRetries,
+			Backoff:      *scatterBackoff,
+			MarkerEvery:  *scatterMarker,
+		}
+		s, err = server.NewCoordinator(cfg)
+		if err != nil {
+			log.Fatalf("ucq-serve: %v", err)
+		}
+	default:
+		log.Fatalf("ucq-serve: unknown -role %q (want single, worker or coordinator)", *role)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

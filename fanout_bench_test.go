@@ -1,0 +1,129 @@
+// BenchmarkE19DistributedFanout lives in the external test package so it
+// can drive repro/internal/server end to end — the internal bench file
+// (bench_test.go) is imported BY the server package's dependency chain and
+// would cycle.
+package ucq_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// fanoutRelations builds a skewed R(x,z) ⋈ S(z,y) instance: one heavy
+// z-key carries heavyR·heavyS answers, the remaining lightZ keys carry
+// lightR·lightS each. The root loop ranges over R rows, so the heavy key
+// concentrates output on a contiguous root-row run — the regime where a
+// static even split leaves workers idle and the marker-level re-split has
+// to earn its keep.
+func fanoutRelations(heavyR, heavyS, lightZ, lightR, lightS int) (map[string][][]int64, int) {
+	rel := map[string][][]int64{}
+	x := int64(0)
+	for i := 0; i < heavyR; i++ {
+		rel["R"] = append(rel["R"], []int64{x, 0})
+		x++
+	}
+	for j := 0; j < heavyS; j++ {
+		rel["S"] = append(rel["S"], []int64{0, int64(j)})
+	}
+	for z := 1; z <= lightZ; z++ {
+		for i := 0; i < lightR; i++ {
+			rel["R"] = append(rel["R"], []int64{x, int64(z)})
+			x++
+		}
+		for j := 0; j < lightS; j++ {
+			rel["S"] = append(rel["S"], []int64{int64(z), int64(z*1000 + j)})
+		}
+	}
+	return rel, heavyR*heavyS + lightZ*lightR*lightS
+}
+
+// BenchmarkE19DistributedFanout: the coordinator's root-range scatter over
+// 1, 2 and 4 in-process workers on a skewed join, measured end to end —
+// HTTP in, merged NDJSON out. workers=1 is the degenerate cluster (all
+// scatter overhead, no parallelism) and anchors the fan-out cost; the
+// 2- and 4-worker runs show the distributed speedup net of marker
+// bookkeeping and loopback transport. Core-count-sensitive: the workers
+// share this process's scheduler, so benchgate skips it across machines
+// with different GOMAXPROCS (the ^BenchmarkE1[2-9] rule).
+func BenchmarkE19DistributedFanout(b *testing.B) {
+	const query = "Q(x,z,y) <- R(x,z), S(z,y)."
+	rels, want := fanoutRelations(1000, 40, 50, 20, 5)
+	body, err := json.Marshal(map[string]any{"relations": rels})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qbody, err := json.Marshal(map[string]any{"query": query})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, nw := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			var workers []string
+			for i := 0; i < nw; i++ {
+				ws := httptest.NewServer(server.New(server.Config{}).Handler())
+				defer ws.Close()
+				workers = append(workers, ws.URL)
+			}
+			coord, err := server.NewCoordinator(server.Config{
+				Cluster: cluster.Config{Workers: workers, MarkerEvery: 256},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs := httptest.NewServer(coord.Handler())
+			defer cs.Close()
+
+			req, err := http.NewRequest(http.MethodPut, cs.URL+"/datasets/skew", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("PUT dataset: status %d", resp.StatusCode)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(cs.URL+"/datasets/skew/query", "application/json", bytes.NewReader(qbody))
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := 0
+				var trailer []byte
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<16), 1<<22)
+				for sc.Scan() {
+					line := sc.Bytes()
+					if len(line) > 0 && line[0] == '[' {
+						got++
+						continue
+					}
+					trailer = append(trailer[:0], line...)
+				}
+				if err := sc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if got != want {
+					b.Fatalf("answers = %d, want %d (trailer %s)", got, want, trailer)
+				}
+			}
+			b.ReportMetric(float64(want), "answers/op")
+		})
+	}
+}

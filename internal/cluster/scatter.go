@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// scatterClient issues range-scoped scatter calls against workers and
+// parses their NDJSON streams. One call is one HTTP request; the gather
+// layer decides what to do with markers, retries and re-splits.
+type scatterClient struct {
+	hc *http.Client
+	// stall is the per-worker deadline, expressed as the longest the client
+	// will wait for the next byte of stream progress. A worker that is slow
+	// but flowing never trips it; a frozen worker does, and its call is
+	// cancelled so the remaining range can be re-issued elsewhere. It is
+	// deliberately not a whole-call timeout — a large range legitimately
+	// takes long.
+	stall time.Duration
+}
+
+// errShed is the internal sentinel scatterClient.run returns when the
+// chunk callback asked to stop the call (a straggler re-split truncated
+// its range): the caller re-issues the truncated range, nothing failed.
+var errShed = errors.New("cluster: call shed at marker")
+
+// workerError is a non-200 response from a worker, carrying the status so
+// the coordinator can distinguish version conflicts (409) from transport
+// trouble.
+type workerError struct {
+	worker string
+	status int
+	msg    string
+}
+
+func (e *workerError) Error() string {
+	return fmt.Sprintf("cluster: worker %s: %d: %s", e.worker, e.status, e.msg)
+}
+
+// WorkerStatus extracts the HTTP status of a worker-reported failure, so
+// callers can propagate client-level statuses (400, 404, 409) instead of
+// flattening everything to a gateway error.
+func WorkerStatus(err error) (int, bool) {
+	var we *workerError
+	if errors.As(err, &we) {
+		return we.status, true
+	}
+	return 0, false
+}
+
+// post issues one POST with a JSON body and returns the response; non-200
+// responses are drained, decoded and returned as *workerError.
+func (sc *scatterClient) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sc.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var we struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+			if json.Unmarshal(raw, &we) == nil && we.Error != "" {
+				msg = we.Error
+			}
+		}
+		return nil, &workerError{worker: url, status: resp.StatusCode, msg: msg}
+	}
+	return resp, nil
+}
+
+// probe asks one worker for a scatter header without enumerating: the
+// coordinator learns RootLen, whether the plan is scatterable, and the
+// plan/bind provenance of the probed worker.
+func (sc *scatterClient) probe(ctx context.Context, worker, dataset string, req *ScatterRequest) (*ScatterHeader, error) {
+	pr := *req
+	pr.Probe = true
+	// A probe is one header line; the stall deadline bounds the whole call
+	// so a frozen worker cannot wedge query admission.
+	pctx, cancel := context.WithTimeout(ctx, sc.stall)
+	defer cancel()
+	resp, err := sc.post(pctx, worker+"/datasets/"+dataset+"/scatter", pr.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	line, err := bufio.NewReader(io.LimitReader(resp.Body, 1<<20)).ReadBytes('\n')
+	if err != nil && len(line) == 0 {
+		return nil, fmt.Errorf("cluster: probe of %s: %v", worker, err)
+	}
+	var ctl controlLine
+	if err := json.Unmarshal(line, &ctl); err != nil || !ctl.Header {
+		return nil, fmt.Errorf("cluster: probe of %s: malformed header line %q", worker, bytes.TrimSpace(line))
+	}
+	// A probe response is the header line and nothing else; drain to EOF so
+	// the transport keeps the connection for the scatter calls that follow
+	// (closing a body short of EOF forfeits keep-alive).
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return ctl.header(), nil
+}
+
+// run issues one scatter call and walks its stream. onChunk is invoked at
+// every progress point — each marker and the trailer — with the answer
+// lines accumulated since the previous one (possibly none) and the root
+// progress; returning stop=true cancels the call mid-stream and run
+// returns errShed. run returns nil only when the trailer was reached, so
+// the caller knows the whole [RootLo, RootHi) range was delivered.
+// expectRootLen guards against inconsistent replicas: a worker whose plan
+// disagrees on the root domain must not contribute answers.
+func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *ScatterRequest, expectRootLen int, onChunk func(lines [][]byte, rootDone int) (stop bool)) error {
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The stall watchdog cancels the call when the stream makes no progress
+	// for sc.stall. It is armed before the POST — a worker frozen before it
+	// even sends response headers must trip the same deadline — and then
+	// only while we wait on the worker: it is stopped around onChunk, so
+	// coordinator-side backpressure (a slow consumer blocking chunk
+	// delivery) never counts against the worker.
+	var stalled atomic.Bool
+	watchdog := time.AfterFunc(sc.stall, func() {
+		stalled.Store(true)
+		cancel()
+	})
+	defer watchdog.Stop()
+
+	resp, err := sc.post(callCtx, worker+"/datasets/"+dataset+"/scatter", req.Encode())
+	if err != nil {
+		if stalled.Load() {
+			return fmt.Errorf("cluster: worker %s: stalled (no response for %s)", worker, sc.stall)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
+
+	var (
+		lines      [][]byte
+		progress   = req.RootLo
+		headerSeen bool
+	)
+	for scanner.Scan() {
+		watchdog.Stop()
+		raw := scanner.Bytes()
+		if len(raw) > 0 && raw[0] == '[' {
+			// Answer line: copy out of the scanner's buffer, keep the
+			// newline NDJSON framing.
+			line := make([]byte, 0, len(raw)+1)
+			line = append(line, raw...)
+			line = append(line, '\n')
+			lines = append(lines, line)
+			watchdog.Reset(sc.stall)
+			continue
+		}
+		var ctl controlLine
+		if err := json.Unmarshal(raw, &ctl); err != nil {
+			return fmt.Errorf("cluster: worker %s: malformed stream line %q: %v", worker, raw, err)
+		}
+		switch {
+		case ctl.Header:
+			if headerSeen {
+				return fmt.Errorf("cluster: worker %s: duplicate header line", worker)
+			}
+			headerSeen = true
+			if !ctl.Scatterable {
+				return fmt.Errorf("cluster: worker %s: plan is not scatterable", worker)
+			}
+			if ctl.RootLen != expectRootLen {
+				return fmt.Errorf("cluster: worker %s: root domain %d disagrees with probe %d (inconsistent replica?)",
+					worker, ctl.RootLen, expectRootLen)
+			}
+		case ctl.Error != "":
+			return fmt.Errorf("cluster: worker %s: stream error: %s", worker, ctl.Error)
+		case ctl.Done:
+			if !headerSeen {
+				return fmt.Errorf("cluster: worker %s: trailer before header", worker)
+			}
+			if ctl.RootDone == nil || *ctl.RootDone < progress {
+				return fmt.Errorf("cluster: worker %s: trailer regresses progress", worker)
+			}
+			onChunk(lines, *ctl.RootDone)
+			// The trailer is the stream's last line; drain the framing tail
+			// to EOF (watchdog re-armed to bound it) so the transport can
+			// reuse this connection for the worker's next call instead of
+			// dialing fresh every range.
+			watchdog.Reset(sc.stall)
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			return nil
+		case ctl.RootDone != nil:
+			if !headerSeen {
+				return fmt.Errorf("cluster: worker %s: marker before header", worker)
+			}
+			p := *ctl.RootDone
+			if p < progress {
+				return fmt.Errorf("cluster: worker %s: marker regresses progress (%d after %d)", worker, p, progress)
+			}
+			progress = p
+			if onChunk(lines, p) {
+				return errShed
+			}
+			lines = nil
+		default:
+			return fmt.Errorf("cluster: worker %s: unrecognized stream line %q", worker, raw)
+		}
+		watchdog.Reset(sc.stall)
+	}
+	if stalled.Load() {
+		return fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, sc.stall)
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("cluster: worker %s: reading stream: %v", worker, err)
+	}
+	return fmt.Errorf("cluster: worker %s: stream ended without a trailer", worker)
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package cluster
+
+import "syscall"
+
+// pinSocketBuffers is a no-op where the portable syscall surface lacks
+// SetsockoptInt; the scatter transport works unpinned, subject to the
+// platform's buffer autotuning.
+func pinSocketBuffers(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package cluster
+
+import "syscall"
+
+// pinSocketBuffers fixes SO_RCVBUF/SO_SNDBUF on a dialed scatter
+// connection, which disables kernel receive-buffer moderation for the
+// socket (see scatterSockBuf for why that matters). Best effort: the
+// setsockopt result is ignored — the kernel silently caps the value at
+// rmem_max/wmem_max anyway, and a connection without the pin still works,
+// just without the guarantee.
+func pinSocketBuffers(network, address string, c syscall.RawConn) error {
+	return c.Control(func(fd uintptr) {
+		_ = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF, scatterSockBuf)
+		_ = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF, scatterSockBuf)
+	})
+}

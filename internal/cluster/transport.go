@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// scatterSockBuf is the fixed socket buffer size for coordinator→worker
+// connections (the kernel doubles it for bookkeeping overhead). Scatter
+// streams arrive in multi-hundred-kilobyte bursts, and the gather loop
+// legitimately pauses reading at every marker while a chunk is handed to
+// the merged consumer. On kernels with receive-buffer moderation
+// (tcp_moderate_rcvbuf) that pause is enough to overflow the small default
+// buffer — loopback segments carry ~64 KiB of data but account for much
+// more truesize — and the kernel responds by collapsing the socket's
+// receive buffer, sometimes to a few kilobytes. The window never recovers
+// and a healthy stream degrades to a persist-probe trickle measured in
+// KB/s. An explicit SO_RCVBUF opts the socket out of moderation entirely:
+// the window is pinned open and backpressure stays where it belongs, in
+// TCP flow control at this fixed depth.
+const scatterSockBuf = 1 << 20
+
+// NewTransport returns the transport the coordinator uses for worker
+// calls when Config.Client is not supplied: HTTP/1.1 keep-alive with
+// enough idle connections for a probe and a scatter call per worker, and
+// pinned socket buffers (see scatterSockBuf).
+func NewTransport() *http.Transport {
+	dialer := &net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+		Control:   pinSocketBuffers,
+	}
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		DialContext:         dialer.DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 8,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}

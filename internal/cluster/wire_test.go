@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRequestValidate(t *testing.T) {
+	valid := ScatterRequest{Query: "Q(x) <- R(x).", RootLo: 0, RootHi: -1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(r *ScatterRequest)
+		want string
+	}{
+		{"no query", func(r *ScatterRequest) { r.Query = "" }, "no query"},
+		{"bad mode", func(r *ScatterRequest) { r.Mode = "turbo" }, "mode"},
+		{"negative lo", func(r *ScatterRequest) { r.RootLo = -1 }, "root_lo"},
+		{"hi below -1", func(r *ScatterRequest) { r.RootHi = -2 }, "root_hi"},
+		{"inverted range", func(r *ScatterRequest) { r.RootLo, r.RootHi = 5, 3 }, "empty-inverted"},
+		{"negative marker", func(r *ScatterRequest) { r.MarkerEvery = -1 }, "marker_every"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := valid
+			tc.mut(&r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatalf("%+v validated", r)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	for _, mode := range []string{"", "auto", "naive"} {
+		r := valid
+		r.Mode = mode
+		if err := r.Validate(); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+func TestScatterRequestRoundTrip(t *testing.T) {
+	reqs := []ScatterRequest{
+		{Query: "Q(x) <- R(x).", RootHi: -1},
+		{Query: "Q(x,y) <- R(x,z), S(z,y).", Mode: "naive", RootLo: 3, RootHi: 17, MarkerEvery: 8, Version: 42, Probe: true},
+		{Query: "Q(x) <- R(x).", RootLo: 0, RootHi: 0},
+	}
+	for _, req := range reqs {
+		got, err := DecodeScatterRequest(req.Encode())
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", req, err)
+		}
+		if *got != req {
+			t.Errorf("round trip of %+v gave %+v", req, *got)
+		}
+	}
+}
+
+func TestDecodeScatterRequestRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`not json`,
+		`{"query":"Q(x) <- R(x).","root_lo":-3}`,
+		`{"root_lo":0,"root_hi":-1}`,
+		`[1,2,3]`,
+	} {
+		if req, err := DecodeScatterRequest([]byte(bad)); err == nil {
+			t.Errorf("decoded %q into %+v", bad, req)
+		}
+	}
+}
+
+// FuzzScatterRequest fuzzes the coordinator→worker request codec: any
+// input must either be rejected with an error or decode into a request
+// that validates and survives an encode/decode round trip unchanged.
+func FuzzScatterRequest(f *testing.F) {
+	f.Add([]byte(`{"query":"Q(x) <- R(x).","root_lo":0,"root_hi":-1}`))
+	f.Add([]byte(`{"query":"Q(x,y) <- R(x,z), S(z,y).","mode":"naive","root_lo":3,"root_hi":17,"marker_every":8,"version":42,"probe":true}`))
+	f.Add([]byte(`{"query":"","root_lo":-1,"root_hi":-2}`))
+	f.Add([]byte(`{"query":"Q(x) <- R(x).","root_lo":9007199254740993,"root_hi":-1,"version":18446744073709551615}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeScatterRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoded request fails its own validation: %v", err)
+		}
+		rt, err := DecodeScatterRequest(req.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding %+v: %v", req, err)
+		}
+		if *rt != *req {
+			t.Fatalf("round trip changed the request: %+v -> %+v", req, rt)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package server
+
+// Worker-side scatter endpoint: POST /datasets/{name}/scatter evaluates a
+// UCQ over a contiguous root-row range of the dataset's current snapshot
+// and streams the answers in ascending root order with interleaved
+// progress markers. This is the coordinator's range-scoped query protocol
+// (see internal/cluster): markers are exact resume points, the version
+// guard keeps a scatter from mixing snapshots across workers, and probes
+// answer the "is this plan scatterable, and how big is its root domain?"
+// question without enumerating. The endpoint exists on every server —
+// single-node deployments simply never call it.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	ucq "repro"
+	"repro/internal/cluster"
+)
+
+// handleDatasetScatter serves one range-scoped scatter call.
+func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	name := r.PathValue("name")
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	req, err := cluster.DecodeScatterRequest(body)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	u, err := ucq.Parse(req.Query)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "parsing query: %v", err)
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	ds, ok := s.catalog.Dataset(name)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	pq, hit, err := s.prepared(mode, u)
+	if err != nil {
+		s.planError(w, err)
+		return
+	}
+
+	// Scatter binds are explicitly sequential: the executor-level
+	// parallelism lives on the coordinator's fan-out, and one worker serves
+	// one call per connection — local work-stealing underneath would only
+	// fight the range contract. The explicit options share the bind-cache
+	// key with explicit sequential dataset queries.
+	exec := &ucq.PlanOptions{ForceNaive: mode == "naive"}
+	plan, err := pq.BindDatasetExecContext(r.Context(), ds, exec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.stats.requestsCancelled.Add(1)
+			return
+		}
+		s.planError(w, err)
+		return
+	}
+	// The guard compares against the snapshot the plan actually bound — not
+	// the catalog's current version — so a Replace racing this request still
+	// yields an exact answer: either the bind caught the registered
+	// snapshot, or the call 409s and the coordinator fails it over.
+	if req.Version != 0 && plan.DatasetVersion() != req.Version {
+		s.httpError(w, http.StatusConflict, "dataset %q is at version %d, caller expects %d",
+			name, plan.DatasetVersion(), req.Version)
+		return
+	}
+	s.stats.scatterRequests.Add(1)
+
+	rootLen, scatterable := plan.RootLen()
+	hdr := cluster.ScatterHeader{
+		Header:         true,
+		Scatterable:    scatterable,
+		RootLen:        rootLen,
+		Mode:           plan.Mode.String(),
+		Cache:          cacheState(hit),
+		Bind:           cacheState(plan.BindCacheHit()),
+		Dataset:        plan.DatasetName(),
+		DatasetVersion: plan.DatasetVersion(),
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(hdr)
+	if canFlush {
+		flusher.Flush()
+	}
+	if req.Probe || !scatterable {
+		// A probe never enumerates; a non-scatterable non-probe ends here
+		// too — the coordinator reads scatterable=false off the header and
+		// takes the single-worker fallback.
+		return
+	}
+
+	lo, hi := req.RootLo, req.RootHi
+	if hi == -1 || hi > rootLen {
+		hi = rootLen
+	}
+	if lo > hi {
+		lo = hi
+	}
+	ra, err := plan.AnswersRootRange(lo, hi)
+	if err != nil {
+		// RootLen said scatterable; reaching this is a bug.
+		panic(err)
+	}
+	markerEvery := req.MarkerEvery
+	if markerEvery <= 0 {
+		markerEvery = cluster.DefaultMarkerEvery
+	}
+
+	buf := make([]byte, 0, 256)
+	count, sinceMarker := 0, 0
+	prevPos := -1
+	cancelled := false
+	for {
+		if r.Context().Err() != nil {
+			cancelled = true
+			break
+		}
+		t, ok := ra.Next()
+		if !ok {
+			break
+		}
+		pos := ra.RootPos()
+		// A marker may only land on a root boundary: root_done = pos claims
+		// every answer with root < pos is already out, which, with the
+		// ascending root order, is exactly true when this answer is the
+		// first of its root row.
+		if count > 0 && pos > prevPos && sinceMarker >= markerEvery {
+			_ = enc.Encode(cluster.ScatterMarker{RootDone: pos})
+			if canFlush {
+				flusher.Flush()
+			}
+			sinceMarker = 0
+		}
+		prevPos = pos
+		buf = ucq.AppendTupleJSON(buf[:0], t)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			cancelled = true
+			break
+		}
+		count++
+		sinceMarker++
+		if canFlush && (count == 1 || count%s.cfg.FlushEvery == 0) {
+			flusher.Flush()
+		}
+	}
+	s.stats.answersStreamed.Add(int64(count))
+	if cancelled || r.Context().Err() != nil {
+		s.stats.requestsCancelled.Add(1)
+		return
+	}
+	_ = enc.Encode(cluster.ScatterTrailer{Done: true, Count: count, RootDone: hi})
+	if canFlush {
+		flusher.Flush()
+	}
+	s.stats.streamsCompleted.Add(1)
+}

@@ -23,6 +23,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	ucq "repro"
+	"repro/internal/cluster"
 )
 
 // Config tunes a Server.
@@ -51,6 +53,9 @@ type Config struct {
 	FlushEvery int
 	// MaxBodyBytes caps the request body (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// Cluster configures coordinator mode (NewCoordinator only): the
+	// static worker list plus scatter tuning. Ignored by New.
+	Cluster cluster.Config
 }
 
 // Defaults for Config zero values.
@@ -67,6 +72,11 @@ type Server struct {
 	catalog *ucq.Catalog
 	stats   Stats
 	cfg     Config
+
+	// cluster is non-nil in coordinator mode (NewCoordinator): the
+	// /datasets endpoints then replicate and scatter over its workers
+	// instead of the local catalog.
+	cluster *cluster.Coordinator
 
 	// dsMu guards dsQueries, the per-dataset query counters surfaced as
 	// /stats gauges.
@@ -96,22 +106,57 @@ func New(cfg Config) *Server {
 	}
 }
 
+// NewCoordinator builds a Server in coordinator mode: the /datasets
+// endpoints replicate writes to cfg.Cluster.Workers and scatter dataset
+// queries across them, merging the range-scoped worker streams
+// dedup-free. The inline /query endpoint still evaluates locally (its
+// instance rides in the request), so a coordinator answers everything a
+// single node does.
+func NewCoordinator(cfg Config) (*Server, error) {
+	s := New(cfg)
+	c, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = c
+	return s, nil
+}
+
 // Catalog returns the server's dataset catalog — the registry behind the
 // /datasets endpoints, exposed for embedding processes that want to
 // register datasets programmatically.
 func (s *Server) Catalog() *ucq.Catalog { return s.catalog }
+
+// Cluster returns the coordinator behind the /datasets endpoints, or nil
+// outside coordinator mode.
+func (s *Server) Cluster() *cluster.Coordinator { return s.cluster }
 
 // Handler returns the HTTP handler serving /query, /datasets, /stats and
 // /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("PUT /datasets/{name}", s.handleDatasetPut)
-	mux.HandleFunc("GET /datasets", s.handleDatasetList)
-	mux.HandleFunc("GET /datasets/{name}", s.handleDatasetGet)
-	mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
-	mux.HandleFunc("POST /datasets/{name}/query", s.handleDatasetQuery)
-	mux.HandleFunc("POST /datasets/{name}/count", s.handleDatasetCount)
+	if s.cluster != nil {
+		// Coordinator mode: dataset writes replicate to every worker and
+		// dataset queries scatter across them. The inline /query above
+		// stays local either way.
+		mux.HandleFunc("PUT /datasets/{name}", s.handleClusterDatasetPut)
+		mux.HandleFunc("GET /datasets", s.handleClusterDatasetList)
+		mux.HandleFunc("GET /datasets/{name}", s.handleClusterDatasetGet)
+		mux.HandleFunc("DELETE /datasets/{name}", s.handleClusterDatasetDelete)
+		mux.HandleFunc("POST /datasets/{name}/query", s.handleClusterDatasetQuery)
+		mux.HandleFunc("POST /datasets/{name}/count", s.handleClusterDatasetCount)
+	} else {
+		mux.HandleFunc("PUT /datasets/{name}", s.handleDatasetPut)
+		mux.HandleFunc("GET /datasets", s.handleDatasetList)
+		mux.HandleFunc("GET /datasets/{name}", s.handleDatasetGet)
+		mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
+		mux.HandleFunc("POST /datasets/{name}/query", s.handleDatasetQuery)
+		mux.HandleFunc("POST /datasets/{name}/count", s.handleDatasetCount)
+		// The worker-side scatter endpoint exists on every non-coordinator
+		// server; single-node deployments simply never call it.
+		mux.HandleFunc("POST /datasets/{name}/scatter", s.handleDatasetScatter)
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -121,8 +166,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 // StatsSnapshot returns the server's current counters — the same data
-// GET /stats serves.
+// GET /stats serves. In coordinator mode the cluster section's worker
+// fetch uses a background context; use StatsSnapshotContext to bound it.
 func (s *Server) StatsSnapshot() Snapshot {
+	return s.StatsSnapshotContext(context.Background())
+}
+
+// StatsSnapshotContext is StatsSnapshot with the context used for the
+// coordinator's per-worker /stats fetches.
+func (s *Server) StatsSnapshotContext(ctx context.Context) Snapshot {
 	var gauges []DatasetGauge
 	s.dsMu.Lock()
 	for _, info := range s.catalog.List() {
@@ -135,7 +187,7 @@ func (s *Server) StatsSnapshot() Snapshot {
 		})
 	}
 	s.dsMu.Unlock()
-	return Snapshot{
+	snap := Snapshot{
 		Requests:          s.stats.requests.Load(),
 		Errors:            s.stats.errors.Load(),
 		AnswersStreamed:   s.stats.answersStreamed.Load(),
@@ -149,16 +201,21 @@ func (s *Server) StatsSnapshot() Snapshot {
 			"parallel":   s.stats.decisionParallel.Load(),
 			"sharded":    s.stats.decisionSharded.Load(),
 		},
-		Datasets: gauges,
-		Delays:   s.stats.delays(),
+		Datasets:        gauges,
+		Delays:          s.stats.delays(),
+		ScatterRequests: s.stats.scatterRequests.Load(),
 	}
+	if s.cluster != nil {
+		snap.Cluster = s.clusterSnapshot(ctx)
+	}
+	return snap
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.StatsSnapshot())
+	_ = enc.Encode(s.StatsSnapshotContext(r.Context()))
 }
 
 // planKey builds the cache key: preparation mode, the schema the query

@@ -58,6 +58,12 @@ type Trailer struct {
 	// Bind is "hit" when the per-instance preprocessing was served from the
 	// bind cache, "miss" when this request computed (and cached) it.
 	Bind string `json:"bind,omitempty"`
+	// Scatter and Workers describe the cluster fan-out behind a
+	// coordinator's merged stream: "root-range" with the worker count, or
+	// "single-worker" when the plan was not range-partitionable. Both stay
+	// zero on single-node responses, keeping their trailers byte-identical.
+	Scatter string `json:"scatter,omitempty"`
+	Workers int    `json:"workers,omitempty"`
 }
 
 // CountResponse is the body of a count-only evaluation — the options'

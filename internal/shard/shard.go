@@ -83,12 +83,10 @@ func PartitionCounts(inst *database.Instance, key Key, n int) ([]int, error) {
 		return nil, err
 	}
 	counts := make([]int, n)
-	keyTuple := make(database.Tuple, 1)
 	for name, col := range key {
 		r := inst.Relation(name)
 		for i := 0; i < r.Len(); i++ {
-			keyTuple[0] = r.Row(i)[col]
-			counts[keyTuple.Hash()%uint64(n)]++
+			counts[Route(r.Row(i)[col], n)]++
 		}
 	}
 	return counts, nil
@@ -132,7 +130,7 @@ func Partition(inst *database.Instance, key Key, n int) (*Sharding, error) {
 		for i := 0; i < r.Len(); i++ {
 			row := r.Row(i)
 			keyTuple[0] = row[col]
-			sh := int(keyTuple.Hash() % uint64(n))
+			sh := Route(row[col], n)
 			parts[sh].Append(row...)
 			s.Shards[sh].Keys.Insert(keyTuple)
 		}

@@ -1,0 +1,57 @@
+package shard
+
+import "repro/internal/database"
+
+// Cross-node routing contract.
+//
+// A distributed deployment routes by hashing partition-key values on
+// whichever node holds the row, and the coordinator assumes every node
+// agrees on the result. That only holds if the hash is a pure function of
+// the value — no per-process seed, no architecture dependence, no
+// map-iteration order. KeyHash and Route are that contract: they are the
+// single routing primitive for both in-process sharding (Partition,
+// PartitionCounts) and cross-node placement (internal/cluster), and
+// stable_test.go pins exact output vectors so that any change to the
+// underlying hash fails loudly instead of silently splitting the cluster's
+// view of where a key lives.
+
+// KeyHash returns the stable routing hash of one partition-key value. It
+// is deterministic across processes, machines and architectures.
+func KeyHash(v database.Value) uint64 {
+	key := [1]database.Value{v}
+	return database.Tuple(key[:]).Hash()
+}
+
+// Route maps a partition-key value to a shard in [0, n). n must be ≥ 1.
+func Route(v database.Value, n int) int {
+	return int(KeyHash(v) % uint64(n))
+}
+
+// StableStringHash hashes a string with the same stability guarantee as
+// KeyHash: FNV-1a over the bytes, finished with the same avalanche mix the
+// tuple hash uses, so short keys still spread over the full 64-bit range.
+// internal/cluster uses it for rendezvous placement (picking which worker
+// owns a dataset's probe and fallback traffic).
+func StableStringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// The same finalizer as database.Tuple.Hash: MurmurHash3's fmix64.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// RouteString maps a string key to a bucket in [0, n). n must be ≥ 1.
+func RouteString(s string, n int) int {
+	return int(StableStringHash(s) % uint64(n))
+}

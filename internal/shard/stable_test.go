@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/database"
+)
+
+// TestStableCrossNodeRouting pins exact KeyHash/Route outputs. These
+// vectors are the cross-node routing contract: every node of a cluster
+// must agree on where a key routes, so a hash change that would be
+// harmless in a single process (any consistent hash partitions correctly)
+// is a wire-breaking change here. If this test fails, the hash changed —
+// that requires re-registering every distributed dataset, not a test
+// update in passing.
+func TestStableCrossNodeRouting(t *testing.T) {
+	vectors := []struct {
+		v      database.Value
+		hash   uint64
+		route3 int
+		route8 int
+	}{
+		{database.V(0), 0xb9034ad37056f5fb, 0, 3},
+		{database.V(1), 0xd7cea42b5057e4c, 0, 4},
+		{database.V(2), 0x5aec852590056221, 2, 1},
+		{database.V(7), 0xd8c9bb075c493102, 2, 2},
+		{database.V(42), 0x1d273896e8641a1d, 1, 5},
+		{database.V(1000), 0x45447a64e6e80c71, 1, 1},
+		{database.V(-1), 0x44ab1c66f1772e96, 1, 6},
+		{database.V(123456789), 0xe092c63cfc12093, 1, 3},
+	}
+	for _, tc := range vectors {
+		if got := KeyHash(tc.v); got != tc.hash {
+			t.Errorf("KeyHash(%v) = %#x, pinned %#x — cross-node routing contract broken", tc.v, got, tc.hash)
+		}
+		if got := Route(tc.v, 3); got != tc.route3 {
+			t.Errorf("Route(%v, 3) = %d, pinned %d", tc.v, got, tc.route3)
+		}
+		if got := Route(tc.v, 8); got != tc.route8 {
+			t.Errorf("Route(%v, 8) = %d, pinned %d", tc.v, got, tc.route8)
+		}
+	}
+}
+
+// TestStableStringHashVectors pins StableStringHash the same way; cluster
+// rendezvous placement depends on every coordinator instance agreeing.
+func TestStableStringHashVectors(t *testing.T) {
+	vectors := []struct {
+		s      string
+		hash   uint64
+		route4 int
+	}{
+		{"", 0xefd01f60ba992926, 2},
+		{"a", 0x82a2a958a9bece5b, 3},
+		{"orders", 0x32520fbdb4dad5b9, 1},
+		{"http://w1:8454", 0xfb82f0e7e6261ada, 2},
+		{"skewed-join", 0x967754413beacc30, 0},
+	}
+	for _, tc := range vectors {
+		if got := StableStringHash(tc.s); got != tc.hash {
+			t.Errorf("StableStringHash(%q) = %#x, pinned %#x", tc.s, got, tc.hash)
+		}
+		if got := RouteString(tc.s, 4); got != tc.route4 {
+			t.Errorf("RouteString(%q, 4) = %d, pinned %d", tc.s, got, tc.route4)
+		}
+	}
+}
+
+// TestPartitionUsesRouteContract checks that Partition and PartitionCounts
+// route through the same contract: every partitioned row must land on the
+// shard Route names for its key value.
+func TestPartitionUsesRouteContract(t *testing.T) {
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	for i := int64(0); i < 100; i++ {
+		r.Append(database.V(i%17), database.V(i))
+	}
+	inst.AddRelation(r)
+
+	const n = 4
+	key := Key{"R": 0}
+	s, err := Partition(inst, key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := PartitionCounts(inst, key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range s.Shards {
+		if sh.Rows != counts[i] {
+			t.Errorf("shard %d: Partition routed %d rows, PartitionCounts predicted %d", i, sh.Rows, counts[i])
+		}
+		part := sh.Inst.Relation("R")
+		for j := 0; j < part.Len(); j++ {
+			if got := Route(part.Row(j)[0], n); got != i {
+				t.Errorf("row with key %v landed on shard %d, Route says %d", part.Row(j)[0], i, got)
+			}
+		}
+	}
+}
