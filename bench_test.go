@@ -800,3 +800,53 @@ func BenchmarkE18AutoModeSelection(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE20SpilledDedup: the parallel merge's dedup set held in memory
+// vs spilled to the disk-backed open-addressed table — the price of
+// bounding resident answer memory on an answer set that exceeds the
+// budget. Both arms drain the same prepared plan; the spilled arm's
+// budget forces the migration almost immediately, so nearly the whole set
+// dedups through disk.
+func BenchmarkE20SpilledDedup(b *testing.B) {
+	u := MustParse(`
+		Q1(x,y) <- R(x,y).
+		Q2(x,y) <- S(x,y).
+	`)
+	// Half-overlapping branches: 12k distinct answers, 4k duplicates the
+	// dedup set must actually catch in either representation.
+	inst := NewInstance()
+	r := NewRelation("R", 2)
+	s := NewRelation("S", 2)
+	for i := int64(0); i < 8000; i++ {
+		r.AppendInts(i, i+1)
+		s.AppendInts(i+4000, i+4001)
+	}
+	inst.AddRelation(r)
+	inst.AddRelation(s)
+	pq, err := Prepare(u, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const want = 12000
+	arms := []struct {
+		name string
+		opts *PlanOptions
+	}{
+		{"in-memory", &PlanOptions{Parallel: true}},
+		{"spilled", &PlanOptions{Parallel: true, DedupBudget: 512, SpillDir: b.TempDir()}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := pq.BindExec(inst, arm.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := drain(b, p.Iterator()); got != want {
+					b.Fatalf("answers = %d, want %d", got, want)
+				}
+			}
+			b.ReportMetric(float64(want), "answers/op")
+		})
+	}
+}

@@ -38,12 +38,27 @@ type CatalogConfig struct {
 	BindCacheTTL time.Duration
 }
 
+// Journal receives every catalog mutation before it is installed, for
+// durable storage: a mutation is acknowledged to the caller only after the
+// journal accepted it, and a journal error fails the mutation with the
+// in-memory state unchanged. internal/storage.Store implements it; see
+// OpenCatalog. The version arguments are the versions the mutations
+// install, so replay can reconstruct each dataset at its exact version.
+type Journal interface {
+	LogRegister(name string, version uint64, inst *Instance) error
+	LogReplace(name string, version uint64, inst *Instance) error
+	LogAppend(name string, version uint64, rels map[string][][]int64) error
+	LogDrop(name string) error
+}
+
 // Catalog is a registry of named, versioned datasets sharing one bind
 // cache. All methods are safe for concurrent use.
 type Catalog struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	binds    *vcache.Cache[*boundQuery]
+	// journal, when non-nil, makes mutations durable; see Journal.
+	journal Journal
 	// gen hands every registration a catalog-unique id: a name that is
 	// dropped and re-registered starts again at version 1, and the
 	// generation in the bind key is what keeps the new dataset's binds
@@ -82,6 +97,11 @@ func (c *Catalog) Register(name string, inst *Instance) (*Dataset, error) {
 	if _, ok := c.datasets[name]; ok {
 		return nil, fmt.Errorf("ucq: dataset %q already registered", name)
 	}
+	if c.journal != nil {
+		if err := c.journal.LogRegister(name, 1, inst); err != nil {
+			return nil, err
+		}
+	}
 	c.datasets[name] = ds
 	return ds, nil
 }
@@ -100,6 +120,12 @@ func (c *Catalog) Upsert(name string, inst *Instance) (ds *Dataset, created bool
 	c.mu.Lock()
 	ds, ok := c.datasets[name]
 	if !ok {
+		if c.journal != nil {
+			if err := c.journal.LogRegister(name, 1, inst); err != nil {
+				c.mu.Unlock()
+				return nil, false, err
+			}
+		}
 		ds = &Dataset{name: name, cat: c, gen: c.gen.Add(1)}
 		ds.snap.Store(newSnapshot(name, 1, inst))
 		c.datasets[name] = ds
@@ -107,7 +133,9 @@ func (c *Catalog) Upsert(name string, inst *Instance) (ds *Dataset, created bool
 		return ds, true, nil
 	}
 	c.mu.Unlock()
-	ds.Replace(inst)
+	if _, err := ds.Replace(inst); err != nil {
+		return nil, false, err
+	}
 	return ds, false, nil
 }
 
@@ -121,11 +149,17 @@ func (c *Catalog) Dataset(name string) (*Dataset, bool) {
 
 // Drop removes the dataset and purges its cached binds, reporting whether
 // it existed. Plans already bound to one of its snapshots keep working —
-// snapshots are immutable and outlive the registration.
+// snapshots are immutable and outlive the registration. Dropping durable
+// state is best-effort: the in-memory registration goes away regardless,
+// and a drop the journal missed resurfaces the dataset on the next
+// recovery rather than losing anything.
 func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
 	_, ok := c.datasets[name]
 	delete(c.datasets, name)
+	if ok && c.journal != nil {
+		_ = c.journal.LogDrop(name)
+	}
 	c.mu.Unlock()
 	if ok {
 		c.purgeBinds(name)
@@ -238,16 +272,24 @@ func (ds *Dataset) Info() DatasetInfo {
 // Replace installs inst as the dataset's new snapshot and returns the new
 // version. The instance is adopted: the caller must not mutate it
 // afterwards. Cached binds of older versions are purged; in-flight
-// enumerations keep the snapshot they were bound to.
-func (ds *Dataset) Replace(inst *Instance) uint64 {
+// enumerations keep the snapshot they were bound to. With a durable
+// catalog the replacement is journaled (and fsynced) before it is
+// installed; a journal error leaves the dataset unchanged.
+func (ds *Dataset) Replace(inst *Instance) (uint64, error) {
 	ds.wmu.Lock()
 	v := ds.snap.Load().version + 1
+	if ds.cat != nil && ds.cat.journal != nil {
+		if err := ds.cat.journal.LogReplace(ds.name, v, inst); err != nil {
+			ds.wmu.Unlock()
+			return 0, err
+		}
+	}
 	ds.snap.Store(newSnapshot(ds.name, v, inst))
 	ds.wmu.Unlock()
 	if ds.cat != nil {
 		ds.cat.purgeBinds(ds.name)
 	}
-	return v
+	return v, nil
 }
 
 // AppendRows copy-on-write-appends rows to the named relations and
@@ -257,16 +299,22 @@ func (ds *Dataset) Replace(inst *Instance) uint64 {
 // of their first row. Rows are validated like the wire codec's
 // (InstanceFromRows): consistent arity, payload-range-checked values. On
 // error the dataset is unchanged.
+//
+// Validation runs before the writer lock is taken, against the then-current
+// snapshot, so a large bad payload is rejected without ever serializing
+// concurrent Replace/AppendRows behind it; only the cheap arity expectation
+// is re-checked under the lock (a concurrent writer may have changed a
+// relation's shape between validation and acquisition). With a durable
+// catalog the delta is journaled (and fsynced) before it is installed.
 func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
-	ds.wmu.Lock()
-	defer ds.wmu.Unlock()
-	cur := ds.snap.Load()
-	inst := cur.inst.ShallowClone()
 	names := make([]string, 0, len(rels))
 	for name := range rels {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	pre := ds.snap.Load().inst
+	arities := make(map[string]int, len(names))
 	for _, name := range names {
 		rows := rels[name]
 		if name == "" {
@@ -275,21 +323,49 @@ func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
 		if len(rows) == 0 {
 			continue
 		}
-		var rel *database.Relation
-		if old := inst.Relation(name); old != nil {
-			rel = old.Clone()
-		} else {
-			if len(rows[0]) == 0 {
-				return 0, fmt.Errorf("ucq: relation %s has an empty first row; arity unknown", name)
-			}
-			rel = database.NewRelation(name, len(rows[0]))
+		arity := len(rows[0])
+		if old := pre.Relation(name); old != nil {
+			arity = old.Arity()
+		} else if arity == 0 {
+			return 0, fmt.Errorf("ucq: relation %s has an empty first row; arity unknown", name)
 		}
-		if err := appendWireRows(rel, name, rows); err != nil {
+		if err := validateWireRows(name, arity, rows); err != nil {
 			return 0, err
 		}
+		arities[name] = arity
+	}
+
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	cur := ds.snap.Load()
+	inst := cur.inst.ShallowClone()
+	for _, name := range names {
+		rows := rels[name]
+		if len(rows) == 0 {
+			continue
+		}
+		var rel *database.Relation
+		if old := inst.Relation(name); old != nil {
+			if old.Arity() != arities[name] {
+				// A Replace slipped in between validation and the lock and
+				// changed the relation's shape; re-validate against it.
+				if err := validateWireRows(name, old.Arity(), rows); err != nil {
+					return 0, err
+				}
+			}
+			rel = old.Clone()
+		} else {
+			rel = database.NewRelation(name, len(rows[0]))
+		}
+		appendValidatedRows(rel, rows)
 		inst.AddRelation(rel)
 	}
 	v := cur.version + 1
+	if ds.cat != nil && ds.cat.journal != nil {
+		if err := ds.cat.journal.LogAppend(ds.name, v, rels); err != nil {
+			return 0, err
+		}
+	}
 	ds.snap.Store(newSnapshot(ds.name, v, inst))
 	if ds.cat != nil {
 		ds.cat.purgeBinds(ds.name)
@@ -312,13 +388,13 @@ func bindKey(name string, gen, version uint64, fingerprint, exec string) string 
 // explicit options that is the shard count (PrepareShards bakes shard
 // plans into the union plan). For Auto binds the resolved decision is a
 // pure function of the snapshot (already keyed by name/gen/version), the
-// query fingerprint and the CPU count — so "auto" plus GOMAXPROCS keys it
-// exactly: the same dataset version re-bound after a GOMAXPROCS change
-// recomputes the decision instead of serving one sized for a different
-// machine shape.
+// query fingerprint, the CPU count and the memory budget — so "auto" plus
+// GOMAXPROCS plus the budget keys it exactly: the same dataset version
+// re-bound after a GOMAXPROCS or budget change recomputes the decision
+// instead of serving one sized for a different machine shape.
 func execBindKey(opts PlanOptions) string {
 	if opts.Auto {
-		return fmt.Sprintf("auto/%d", autoCPUs())
+		return fmt.Sprintf("auto/%d/%d", autoCPUs(), opts.DedupBudget)
 	}
 	return fmt.Sprintf("%d", opts.Shards)
 }

@@ -91,8 +91,8 @@ func TestDatasetReplaceAndAppendVersions(t *testing.T) {
 	}
 	old := ds.Instance()
 
-	if v := ds.Replace(example2SmallInstance()); v != 2 {
-		t.Errorf("Replace: version %d, want 2", v)
+	if v, err := ds.Replace(example2SmallInstance()); err != nil || v != 2 {
+		t.Errorf("Replace: version %d err %v, want 2", v, err)
 	}
 	v, err := ds.AppendRows(map[string][][]int64{
 		"R3":        {{3, 7}},   // copy-on-write append to an existing relation
@@ -412,6 +412,82 @@ func TestDatasetConcurrentReplaceAndBind(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestBindCachePurgeRaceDoesNotPinDeadVersions races cold binds against
+// writers (AppendRows purges cached binds on every version bump) and then
+// checks no dead-version entry survived. The bug: a coalesced fill that
+// completed *after* purgeBinds reinserted its entry for the purged
+// version/generation — unreachable by any future lookup (binds always key
+// on the current version) but pinned in the LRU until capacity eviction.
+// With the vcache fix, a purge dooms matching in-flight fills, so once the
+// writers stop, the only entry a final bind can leave behind is its own.
+// Run with -race: the interleaving itself is the point.
+func TestBindCachePurgeRaceDoesNotPinDeadVersions(t *testing.T) {
+	u := MustParse(`Q(x,y) <- R(x,y).`)
+	pq, err := Prepare(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance()
+	r := NewRelation("R", 2)
+	r.AppendInts(1, 2)
+	inst.AddRelation(r)
+
+	cat := NewCatalog()
+	ds, err := cat.Register("d", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 2
+	const readers = 4
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := ds.AppendRows(map[string][][]int64{"R": {{int64(i), int64(i)}}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := pq.BindDataset(ds); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesce: one more bump purges every entry the hammer left (no fills
+	// are in flight anymore), then a single bind fills for the current
+	// version. Anything beyond that one entry is a resurrected dead
+	// version.
+	if _, err := ds.AppendRows(map[string][][]int64{"R": {{99, 99}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.BindDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	if st := cat.BindCacheStats(); st.Size != 1 {
+		t.Fatalf("bind cache holds %d entries after quiesce, want exactly 1 (dead versions pinned?): %+v", st.Size, st)
 	}
 }
 

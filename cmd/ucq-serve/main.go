@@ -8,6 +8,7 @@
 //
 //	ucq-serve [-addr :8454] [-cache 128] [-plan-cache-ttl 0] [-bind-cache 256]
 //	          [-bind-cache-ttl 0] [-flush-every 256] [-max-body 67108864]
+//	          [-data-dir ""] [-dedup-budget 0] [-spill-dir ""]
 //	          [-role single|worker|coordinator] [-workers http://w1:8454,...]
 //	          [-scatter-stall 30s] [-scatter-retries 4] [-scatter-backoff 50ms]
 //	          [-scatter-marker 128]
@@ -44,6 +45,17 @@
 // the strategy per bind from the bound instance; /stats reports the
 // decision mix under decision_modes. Any explicit knob pins manual
 // execution.
+//
+// Durability: -data-dir makes the dataset catalog persistent — every
+// dataset write is journaled (snapshot + fsynced WAL) under the directory
+// before the HTTP response acknowledges it, and a restarted server replays
+// the journal, serving every dataset at the exact version its clients last
+// saw. -dedup-budget N caps the in-memory dedup set of parallel and auto
+// execution: a certified plan whose exact answer count exceeds N dedups
+// through a disk-backed spill table (in -spill-dir, default the OS temp
+// directory) instead of holding every distinct answer in memory. Both are
+// single/worker-role features; a coordinator holds no datasets and refuses
+// -data-dir.
 //
 // Cluster mode: -role coordinator -workers http://w1:8454,http://w2:8454
 // starts a coordinator that replicates dataset writes to every worker and
@@ -90,6 +102,9 @@ func main() {
 	bindTTL := flag.Duration("bind-cache-ttl", 0, "dataset bind cache TTL (0 = never expire)")
 	flushEvery := flag.Int("flush-every", server.DefaultFlushEvery, "flush the response every N answers (first answer always flushes)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	dataDir := flag.String("data-dir", "", "journal dataset writes under this directory and recover them on restart (empty = in-memory catalog)")
+	dedupBudget := flag.Int64("dedup-budget", 0, "spill query dedup to disk past this many in-memory answers (0 = never spill)")
+	spillDir := flag.String("spill-dir", "", "directory for spilled dedup tables (empty = OS temp dir)")
 	role := flag.String("role", "single", `process role: "single" or "worker" (serve locally, incl. the scatter endpoint) or "coordinator" (fan dataset work out over -workers)`)
 	workers := flag.String("workers", "", "comma-separated worker base URLs (coordinator role only)")
 	scatterStall := flag.Duration("scatter-stall", cluster.DefaultStallTimeout, "per-worker deadline: cancel a scatter call making no stream progress for this long")
@@ -105,6 +120,9 @@ func main() {
 		BindCacheTTL:  *bindTTL,
 		FlushEvery:    *flushEvery,
 		MaxBodyBytes:  *maxBody,
+		DataDir:       *dataDir,
+		SpillBudget:   *dedupBudget,
+		SpillDir:      *spillDir,
 	}
 	var s *server.Server
 	switch *role {
@@ -112,8 +130,20 @@ func main() {
 		if *workers != "" {
 			log.Fatalf("ucq-serve: -workers requires -role coordinator")
 		}
-		s = server.New(cfg)
+		var err error
+		s, err = server.Open(cfg)
+		if err != nil {
+			log.Fatalf("ucq-serve: opening data dir: %v", err)
+		}
+		if *dataDir != "" {
+			log.Printf("ucq-serve: durable catalog under %s", *dataDir)
+		}
 	case "coordinator":
+		// A coordinator holds no datasets — its writes replicate to the
+		// workers, whose own -data-dir makes them durable.
+		if *dataDir != "" {
+			log.Fatalf("ucq-serve: -data-dir requires -role single or worker (workers own the datasets; give each worker its own directory)")
+		}
 		list, err := cluster.ParseWorkerList(*workers)
 		if err != nil {
 			log.Fatalf("ucq-serve: -workers: %v", err)
@@ -166,6 +196,11 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("ucq-serve: shutdown: %v", err)
+		}
+		// Only after the listener drains: in-flight writes journal through
+		// the store right up to their acknowledgement.
+		if err := s.Close(); err != nil {
+			log.Printf("ucq-serve: closing store: %v", err)
 		}
 		log.Printf("ucq-serve: bye")
 	}

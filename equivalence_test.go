@@ -82,6 +82,14 @@ func TestCrossEngineEquivalence(t *testing.T) {
 			// The cost model resolves its own knobs per bind; whatever it
 			// picks must agree with every hand-picked strategy.
 			{"auto", &PlanOptions{Auto: true}},
+			// A tiny dedup budget forces the merge's dedup set onto the
+			// disk-backed spill table for any non-trivial answer set; the
+			// spilled path must return the identical answer set.
+			{"parallel-spill", &PlanOptions{Parallel: true, DedupBudget: 2}},
+			{"parallel-spill-workers4", &PlanOptions{Parallel: true, Workers: 4, ParallelBatch: 2, DedupBudget: 2}},
+			// With Auto the budget also drives the cost decision: an exact
+			// count over budget forces the spillable parallel merge.
+			{"auto-spill", &PlanOptions{Auto: true, DedupBudget: 2}},
 		}
 		for _, e := range execs {
 			p, err := pq.BindExec(inst, e.opts)

@@ -236,6 +236,12 @@ type ExecOptions struct {
 	// Workers bounds the work-stealing executor's pool; ≤ 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// SpillBudget, when positive, bounds the merge dedup set's in-memory
+	// entry count; past it dedup migrates to a disk-backed table. See
+	// enumeration.UnionOptions.
+	SpillBudget int
+	// SpillDir hosts spilled dedup tables; empty selects os.TempDir().
+	SpillDir string
 }
 
 // resolveWorkers maps the option onto a concrete pool size.
@@ -270,9 +276,11 @@ func (p *UnionPlan) IteratorParallelCtx(ctx context.Context, opts ExecOptions) *
 	workers := opts.resolveWorkers()
 	tasks, disjoint := p.execTasks(workers)
 	uo := enumeration.UnionOptions{
-		BatchSize: opts.BatchSize,
-		Workers:   workers,
-		Disjoint:  disjoint,
+		BatchSize:   opts.BatchSize,
+		Workers:     workers,
+		Disjoint:    disjoint,
+		SpillBudget: opts.SpillBudget,
+		SpillDir:    opts.SpillDir,
 	}
 	if !disjoint {
 		uo.SizeHint = p.sizeHint()

@@ -108,9 +108,11 @@ func (p *UnionPlan) IteratorParallelShardedCtx(ctx context.Context, opts ExecOpt
 	}
 	workers := opts.resolveWorkers()
 	uo := enumeration.UnionOptions{
-		BatchSize: opts.BatchSize,
-		Workers:   workers,
-		Disjoint:  p.shardDisjoint,
+		BatchSize:   opts.BatchSize,
+		Workers:     workers,
+		Disjoint:    p.shardDisjoint,
+		SpillBudget: opts.SpillBudget,
+		SpillDir:    opts.SpillDir,
 	}
 	if !p.shardDisjoint {
 		uo.SizeHint = int(hint)

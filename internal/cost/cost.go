@@ -51,6 +51,12 @@ type Inputs struct {
 	// Input-balanced attributes can still route most of the join fan-out
 	// to one shard; this is the signal that catches it.
 	OutputShare float64
+	// MemBudget is the largest number of distinct answers the merge's
+	// dedup set may hold in memory, or 0 for unbounded. The Theorem 12
+	// counting pass makes Answers exact for certified plans, so an
+	// over-budget answer set is known at bind time, before the first
+	// answer is enumerated.
+	MemBudget int64
 }
 
 // Decision is the resolved execution configuration plus its provenance:
@@ -64,6 +70,10 @@ type Decision struct {
 	Parallel bool
 	Shards   int
 	Workers  int
+	// Spill directs the merge's dedup set to the disk-backed table once it
+	// outgrows Inputs.MemBudget. Only set when the chosen mode carries a
+	// dedup set: a dedup-free disjoint sharded merge has nothing to spill.
+	Spill bool
 	// Reason explains the pick in one sentence.
 	Reason string
 	// Inputs echoes what the decision was made from.
@@ -111,6 +121,32 @@ const (
 // always passes PlanOptions validation (Shards/Workers only with
 // Parallel), which the property tests pin.
 func Decide(in Inputs) Decision {
+	d := decideMode(in)
+	// Spill is an orthogonal overlay on the mode choice: when the exact
+	// count already proves the answer set exceeds the memory budget, the
+	// dedup set must go to disk — unless the chosen mode is the dedup-free
+	// disjoint sharded merge, which never materialises the answer set. A
+	// sequential pick is upgraded to the parallel merge, the only path that
+	// carries the spillable dedup set; on one CPU it runs with one worker.
+	if in.MemBudget > 0 && in.Answers > in.MemBudget && in.ConstantDelay &&
+		!(d.Shards > 0 && in.ShardableDisjoint) {
+		d.Spill = true
+		if !d.Parallel {
+			d.Parallel = true
+			d.Workers = in.CPUs
+			if d.Workers < 1 {
+				d.Workers = 1
+			}
+			d.Reason = fmt.Sprintf("%d exact answers exceed the %d-answer memory budget: spilled dedup on the parallel merge", in.Answers, in.MemBudget)
+		} else {
+			d.Reason += fmt.Sprintf("; %d answers exceed the %d-answer budget, dedup spills to disk", in.Answers, in.MemBudget)
+		}
+	}
+	return d
+}
+
+// decideMode picks the execution mode without regard to the memory budget.
+func decideMode(in Inputs) Decision {
 	d := Decision{Inputs: in}
 	work := int64(in.Rows)
 	if in.Answers > 0 {

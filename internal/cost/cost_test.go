@@ -20,10 +20,17 @@ func TestDecideAlwaysValid(t *testing.T) {
 			CPUs:              rng.Intn(65) - 1, // includes -1 and 0
 			ShardableDisjoint: rng.Intn(2) == 0,
 			OutputShare:       rng.Float64() * 4,
+			MemBudget:         rng.Int63n(1<<20) - 1, // includes -1 and 0 (unbounded)
 		}
 		d := Decide(in)
 		if !d.Parallel && (d.Shards != 0 || d.Workers != 0) {
 			t.Fatalf("case %d: invalid combination %+v from %+v", i, d, in)
+		}
+		if d.Spill && !d.Parallel {
+			t.Fatalf("case %d: spill without the parallel merge %+v from %+v", i, d, in)
+		}
+		if d.Spill && d.Shards > 0 && in.ShardableDisjoint {
+			t.Fatalf("case %d: spill on a dedup-free sharded merge %+v from %+v", i, d, in)
 		}
 		if d.Shards < 0 || d.Workers < 0 {
 			t.Fatalf("case %d: negative knob %+v", i, d)
@@ -70,6 +77,39 @@ func TestDecideRegimes(t *testing.T) {
 		if d.Kind() != tc.kind {
 			t.Errorf("%s: kind = %s (%s), want %s", tc.name, d.Kind(), d.Reason, tc.kind)
 		}
+	}
+}
+
+// TestDecideSpill pins the budget overlay: an exact count over the budget
+// forces the spilled dedup path (even on one CPU, where the mode would
+// otherwise be sequential), while the dedup-free sharded merge and naive
+// mode (no exact count) are left alone.
+func TestDecideSpill(t *testing.T) {
+	base := Inputs{ConstantDelay: true, Rows: 1 << 16, Answers: 1 << 16, CPUs: 8, MemBudget: 1 << 10}
+	if d := Decide(base); !d.Spill || !d.Parallel {
+		t.Fatalf("over-budget parallel: %+v", d)
+	}
+	one := base
+	one.CPUs = 1
+	if d := Decide(one); !d.Spill || !d.Parallel || d.Workers != 1 {
+		t.Fatalf("over-budget on one CPU must still reach the spillable merge: %+v", d)
+	}
+	under := base
+	under.MemBudget = 1 << 20
+	if d := Decide(under); d.Spill {
+		t.Fatalf("under-budget answer set spilled: %+v", d)
+	}
+	sharded := base
+	sharded.ShardableDisjoint = true
+	sharded.OutputShare = 0.14
+	if d := Decide(sharded); d.Kind() != "sharded" || d.Spill {
+		t.Fatalf("dedup-free sharded merge has nothing to spill: %+v", d)
+	}
+	naive := base
+	naive.ConstantDelay = false
+	naive.Answers = -1
+	if d := Decide(naive); d.Spill {
+		t.Fatalf("naive mode has no exact count to spill on: %+v", d)
 	}
 }
 

@@ -91,6 +91,10 @@ func (s *TupleSet) Len() int { return len(s.offs) - 1 }
 // immutable for the lifetime of the set; callers must not mutate them.
 func (s *TupleSet) At(i int) Tuple { return Tuple(s.arena[s.offs[i]:s.offs[i+1]]) }
 
+// HashAt returns the stored hash of entry i, letting spill migration move
+// entries into a disk-backed table without rehashing the arena.
+func (s *TupleSet) HashAt(i int) uint64 { return s.hashes[i] }
+
 // findSlot returns the slot holding an entry equal to t, or the first empty
 // slot of its probe sequence.
 func (s *TupleSet) findSlot(h uint64, t Tuple) uint64 {

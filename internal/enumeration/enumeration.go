@@ -78,6 +78,17 @@ func CloseIterator(it Iterator) {
 	}
 }
 
+// IterErr reports the error that terminated an iterator early, if any —
+// today that is disk trouble on ParallelUnion's spilled dedup path. Check
+// it after Next reports exhaustion: a non-nil error means the stream was
+// truncated, not completed. Iterators without an error channel report nil.
+func IterErr(it Iterator) error {
+	if e, ok := it.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
 // Func adapts a function to the Iterator interface.
 type Func func() (database.Tuple, bool)
 

@@ -40,6 +40,15 @@ type UnionOptions struct {
 	Disjoint bool
 	// Workers bounds the executor's worker pool; ≤ 0 selects GOMAXPROCS.
 	Workers int
+	// SpillBudget, when positive, bounds the number of distinct answers the
+	// dedup set holds in memory: past it the set migrates to a disk-backed
+	// table (internal/storage.SpillSet) and the merge continues with the
+	// same answer set. ≤ 0 keeps dedup purely in memory. Ignored when
+	// Disjoint (there is no dedup set to spill).
+	SpillBudget int
+	// SpillDir is where spilled dedup tables live (a private temp directory
+	// is created under it); empty selects os.TempDir().
+	SpillDir string
 }
 
 // ParallelUnion enumerates the union of several branch tasks with global
@@ -66,11 +75,12 @@ type ParallelUnion struct {
 	disjoint bool
 	ex       *exec.Executor
 
-	seen *database.TupleSet
+	seen dedupSet
 	cur  exec.Batch
 	pos  int
 
 	closed bool
+	err    error
 	// Stats.
 	pulled     int
 	duplicates int
@@ -119,11 +129,15 @@ func NewParallelUnionTasks(ctx context.Context, arity int, opts UnionOptions, ta
 		if hint > MaxSizeHint {
 			hint = MaxSizeHint
 		}
-		valueHint := hint * arity
-		if valueHint > maxPreallocValues {
-			valueHint = maxPreallocValues
+		if opts.SpillBudget > 0 {
+			u.seen = newSpillingSet(opts.SpillDir, arity, opts.SpillBudget, hint)
+		} else {
+			valueHint := hint * arity
+			if valueHint > maxPreallocValues {
+				valueHint = maxPreallocValues
+			}
+			u.seen = memSet{database.NewTupleSetSized(hint, valueHint)}
 		}
-		u.seen = database.NewTupleSetSized(hint, valueHint)
 	}
 	u.ex = exec.Run(ctx, exec.Options{
 		Workers:   opts.Workers,
@@ -154,7 +168,14 @@ func (u *ParallelUnion) Next() (database.Tuple, bool) {
 			if u.disjoint {
 				return t, true
 			}
-			stored, fresh := u.seen.InsertGet(t)
+			stored, fresh, err := u.seen.InsertGet(t)
+			if err != nil {
+				// A spill failure poisons the union: dedup state is gone, so
+				// continuing could emit duplicates. Surface it via Err.
+				u.err = err
+				u.Close()
+				return nil, false
+			}
 			if fresh {
 				return stored, true
 			}
@@ -191,6 +212,22 @@ func (u *ParallelUnion) Close() {
 	}
 	u.closed = true
 	u.ex.Close()
+	if u.seen != nil {
+		u.seen.Close()
+	}
+}
+
+// Err returns the error that terminated the union early, if any — today
+// that is disk trouble on the spilled dedup path. A nil Err after Next
+// reports exhaustion means the union completed.
+func (u *ParallelUnion) Err() error { return u.err }
+
+// Spilled reports whether the dedup set migrated to disk.
+func (u *ParallelUnion) Spilled() bool {
+	if s, ok := u.seen.(*spillingSet); ok {
+		return s.spilled
+	}
+	return false
 }
 
 // Stats returns the underlying executor's counters (workers, tasks run,

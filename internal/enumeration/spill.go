@@ -1,0 +1,105 @@
+package enumeration
+
+import (
+	"repro/internal/database"
+	"repro/internal/storage"
+)
+
+// dedupSet abstracts the merge's deduplication layer so ParallelUnion can
+// run against the in-memory TupleSet or, past a budget, the disk-backed
+// spill table. InsertGet mirrors TupleSet.InsertGet plus an error channel
+// for disk trouble; the returned tuple is stable for the consumer either
+// way (an arena view in memory, an owned copy once spilled).
+type dedupSet interface {
+	InsertGet(t database.Tuple) (database.Tuple, bool, error)
+	Len() int
+	Close() error
+}
+
+// memSet is the TupleSet-backed dedupSet: no budget, no errors.
+type memSet struct{ s *database.TupleSet }
+
+func (m memSet) InsertGet(t database.Tuple) (database.Tuple, bool, error) {
+	stored, fresh := m.s.InsertGet(t)
+	return stored, fresh, nil
+}
+
+func (m memSet) Len() int     { return m.s.Len() }
+func (m memSet) Close() error { return nil }
+
+// spillingSet dedups in memory until the set holds budget tuples, then
+// migrates every entry into a storage.SpillSet (reusing the hashes the
+// TupleSet already computed) and continues on disk. Tuples handed out
+// before the migration are arena views and stay valid: the consumer's
+// references keep the arena alive after the set lets go of it.
+type spillingSet struct {
+	mem     *database.TupleSet
+	disk    *storage.SpillSet
+	dir     string
+	arity   int
+	budget  int
+	spilled bool
+}
+
+func newSpillingSet(dir string, arity, budget, sizeHint int) *spillingSet {
+	if sizeHint > budget {
+		sizeHint = budget
+	}
+	valueHint := sizeHint * arity
+	if valueHint > maxPreallocValues {
+		valueHint = maxPreallocValues
+	}
+	return &spillingSet{
+		mem:    database.NewTupleSetSized(sizeHint, valueHint),
+		dir:    dir,
+		arity:  arity,
+		budget: budget,
+	}
+}
+
+func (s *spillingSet) InsertGet(t database.Tuple) (database.Tuple, bool, error) {
+	if s.disk != nil {
+		return s.disk.InsertGet(t)
+	}
+	stored, fresh := s.mem.InsertGet(t)
+	if fresh && s.mem.Len() >= s.budget {
+		if err := s.spill(); err != nil {
+			return nil, false, err
+		}
+	}
+	return stored, fresh, nil
+}
+
+// spill moves the in-memory entries to disk. The data file ends up holding
+// the same tuple sequence the arena did, inserted under the arena's own
+// hashes, so membership verdicts are unchanged.
+func (s *spillingSet) spill() error {
+	disk, err := storage.NewSpillSet(s.dir, s.arity, 2*s.budget)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.mem.Len(); i++ {
+		if _, _, err := disk.InsertGetHash(s.mem.HashAt(i), s.mem.At(i)); err != nil {
+			disk.Close()
+			return err
+		}
+	}
+	s.disk = disk
+	s.spilled = true
+	s.mem = nil
+	return nil
+}
+
+func (s *spillingSet) Len() int {
+	if s.disk != nil {
+		return s.disk.Len()
+	}
+	return s.mem.Len()
+}
+
+func (s *spillingSet) Close() error {
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// newDurableServer is newTestServer over Open: the catalog journals under
+// dir and the store is released with the test.
+func newDurableServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// TestServerRestartRecoversDatasets is the end-to-end durability proof: a
+// server opened over a data directory, loaded with registered and appended
+// datasets, is shut down and reopened — and the new process serves every
+// dataset at its exact pre-restart version with the exact pre-restart
+// answer set, with the bind cache warming against the recovered snapshots.
+func TestServerRestartRecoversDatasets(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s1.Handler())
+	putDataset(t, ts.URL, "events", smallRelations())
+	putDataset(t, ts.URL, "other", map[string][][]int64{"S": {{1}, {2}}})
+	// An append bumps events to v2 — the restart must come back at v2, not
+	// at the registration snapshot.
+	resp := do(t, "PUT", ts.URL+"/datasets/events", DatasetRequest{
+		Relations: map[string][][]int64{"R3": {{3, 7}}},
+		Append:    true,
+	})
+	resp.Body.Close()
+	want, wantTr := queryDataset(t, ts.URL, "events", QueryRequest{Query: example2})
+	sortRows(want)
+	if wantTr.DatasetVersion != 2 {
+		t.Fatalf("pre-restart version = %d, want 2", wantTr.DatasetVersion)
+	}
+	// "Restart": shut the first server down — store included — and open a
+	// second one over the same directory.
+	ts.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopening data dir: %v", err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	got, tr := queryDataset(t, ts2.URL, "events", QueryRequest{Query: example2})
+	sortRows(got)
+	if tr.DatasetVersion != wantTr.DatasetVersion {
+		t.Fatalf("recovered version = %d, want %d", tr.DatasetVersion, wantTr.DatasetVersion)
+	}
+	if tr.Bind != "miss" {
+		t.Fatalf("recovered bind = %q, want miss (fresh generation, fresh cache)", tr.Bind)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered answers = %v, want %v", got, want)
+	}
+	// The second identical query is served from the warmed bind cache.
+	if _, tr := queryDataset(t, ts2.URL, "events", QueryRequest{Query: example2}); tr.Bind != "hit" {
+		t.Errorf("second recovered query bind = %q, want hit", tr.Bind)
+	}
+
+	st := getStats(t, ts2.URL)
+	if st.Storage == nil {
+		t.Fatal("/stats has no storage section on a durable server")
+	}
+	if st.Storage.DataDir != dir || st.Storage.Recovered != 2 || st.Storage.Datasets != 2 {
+		t.Errorf("storage stats = %+v, want 2 datasets recovered under %s", st.Storage, dir)
+	}
+	if len(st.Datasets) != 2 {
+		t.Errorf("dataset gauges = %+v, want events and other", st.Datasets)
+	}
+}
+
+// TestServerSpillBudget runs a dataset query whose exact answer count
+// exceeds the server-wide dedup budget: it must complete through the
+// disk-backed spill table with exactly the unbudgeted answer set, and the
+// /stats storage section must be present (spill gauges return to zero once
+// the stream's set is closed).
+func TestServerSpillBudget(t *testing.T) {
+	// Two branches with 30 overlapping answers each: well past a budget of
+	// 4, small enough to stay instant.
+	rels := map[string][][]int64{"R": {}, "S": {}}
+	for i := int64(0); i < 30; i++ {
+		rels["R"] = append(rels["R"], []int64{i, i + 1})
+		if i >= 10 {
+			rels["S"] = append(rels["S"], []int64{i, i + 1})
+		}
+	}
+	const query = `
+		Q1(x,y) <- R(x,y).
+		Q2(x,y) <- S(x,y).
+	`
+
+	_, plain := newTestServer(t, Config{})
+	putDataset(t, plain.URL, "d", rels)
+	want, _ := queryDataset(t, plain.URL, "d", QueryRequest{Query: query})
+	sortRows(want)
+	if len(want) != 30 {
+		t.Fatalf("unbudgeted run returned %d answers, want 30", len(want))
+	}
+
+	_, ts := newDurableServer(t, Config{SpillBudget: 4, SpillDir: t.TempDir()})
+	putDataset(t, ts.URL, "d", rels)
+	got, tr := queryDataset(t, ts.URL, "d", QueryRequest{Query: query})
+	sortRows(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("spilled answers = %v, want %v", got, want)
+	}
+	if tr.Count != len(want) {
+		t.Errorf("spilled trailer count = %d, want %d", tr.Count, len(want))
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Storage == nil {
+		t.Fatal("/stats has no storage section with a spill budget set")
+	}
+	if st.Storage.SpillSets != 0 {
+		t.Errorf("spill sets still open after the stream completed: %+v", st.Storage)
+	}
+}
+
+// spillRelations builds the two-branch overlapping dataset the spill tests
+// share: 30 distinct answers against a budget of 4.
+func spillRelations() (map[string][][]int64, string) {
+	rels := map[string][][]int64{"R": {}, "S": {}}
+	for i := int64(0); i < 30; i++ {
+		rels["R"] = append(rels["R"], []int64{i, i + 1})
+		if i >= 10 {
+			rels["S"] = append(rels["S"], []int64{i, i + 1})
+		}
+	}
+	return rels, `
+		Q1(x,y) <- R(x,y).
+		Q2(x,y) <- S(x,y).
+	`
+}
+
+// TestServerSpillDirCreated pins the -spill-dir flag against a directory
+// that does not exist yet: the spilled query must still return the complete
+// answer set. The regression: the spill set's MkdirTemp failed on the
+// missing directory and the stream silently truncated to a prefix with a
+// done:true trailer.
+func TestServerSpillDirCreated(t *testing.T) {
+	rels, query := spillRelations()
+	_, ts := newDurableServer(t, Config{
+		SpillBudget: 4,
+		SpillDir:    filepath.Join(t.TempDir(), "not", "yet", "created"),
+	})
+	putDataset(t, ts.URL, "d", rels)
+	got, tr := queryDataset(t, ts.URL, "d", QueryRequest{Query: query})
+	if !tr.Done || tr.Error != "" {
+		t.Fatalf("trailer = %+v, want clean done:true", tr)
+	}
+	if len(got) != 30 {
+		t.Fatalf("spilled query through a fresh dir returned %d answers, want 30", len(got))
+	}
+}
+
+// TestServerSpillError pins the failure surface when the spill migration is
+// impossible (the spill dir's parent is a regular file): the stream must
+// end in an error trailer — done stays false — and the count path must be
+// an HTTP 500, never a truncated count.
+func TestServerSpillError(t *testing.T) {
+	occupied := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rels, query := spillRelations()
+	_, ts := newDurableServer(t, Config{
+		SpillBudget: 4,
+		SpillDir:    filepath.Join(occupied, "spill"),
+	})
+	putDataset(t, ts.URL, "d", rels)
+
+	got, tr := queryDataset(t, ts.URL, "d", QueryRequest{Query: query})
+	if tr.Done || tr.Error == "" {
+		t.Fatalf("trailer = %+v, want done:false with an error", tr)
+	}
+	if len(got) >= 30 {
+		t.Fatalf("stream yielded all %d answers despite the failed spill", len(got))
+	}
+	if tr.Count != len(got) {
+		t.Errorf("error trailer count = %d, but %d answers were streamed", tr.Count, len(got))
+	}
+
+	resp := do(t, http.MethodPost, ts.URL+"/datasets/d/count", QueryRequest{Query: query})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("count with a failed spill: status %d, want 500", resp.StatusCode)
+	}
+}

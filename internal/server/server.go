@@ -33,6 +33,7 @@ import (
 
 	ucq "repro"
 	"repro/internal/cluster"
+	"repro/internal/storage"
 )
 
 // Config tunes a Server.
@@ -53,6 +54,19 @@ type Config struct {
 	FlushEvery int
 	// MaxBodyBytes caps the request body (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// DataDir makes the dataset catalog durable (Open only): every dataset
+	// mutation is journaled under this directory — snapshot plus fsynced
+	// WAL — before it is acknowledged, and the next Open replays the
+	// journal, recovering every dataset at its acknowledged version. Empty
+	// keeps the catalog in-memory. Ignored by New and NewCoordinator.
+	DataDir string
+	// SpillBudget bounds the in-memory dedup set of parallel and auto
+	// query execution: when a certified plan's exact answer count exceeds
+	// it, the merge dedups through a disk-backed spill table instead of
+	// growing the in-memory set (0 = never spill).
+	SpillBudget int64
+	// SpillDir hosts the spill tables ("" = the OS temp directory).
+	SpillDir string
 	// Cluster configures coordinator mode (NewCoordinator only): the
 	// static worker list plus scatter tuning. Ignored by New.
 	Cluster cluster.Config
@@ -77,6 +91,10 @@ type Server struct {
 	// /datasets endpoints then replicate and scatter over its workers
 	// instead of the local catalog.
 	cluster *cluster.Coordinator
+
+	// store is non-nil when the server was built by Open with a DataDir:
+	// the catalog journals through it and /stats surfaces its gauges.
+	store *storage.Store
 
 	// dsMu guards dsQueries, the per-dataset query counters surfaced as
 	// /stats gauges.
@@ -104,6 +122,38 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		dsQueries: make(map[string]int64),
 	}
+}
+
+// Open builds a Server like New and, when cfg.DataDir is set, swaps in a
+// durable catalog: dataset mutations are journaled under the directory
+// before they are acknowledged, and Open replays the journal so a
+// restarted process serves every dataset at the version its clients last
+// saw. Close the server to release the store. With an empty DataDir, Open
+// is New without the error path.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	cat, st, err := ucq.OpenCatalog(cfg.DataDir, ucq.CatalogConfig{
+		BindCacheSize: cfg.BindCacheSize,
+		BindCacheTTL:  cfg.BindCacheTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.catalog = cat
+	s.store = st
+	return s, nil
+}
+
+// Close releases the durable store behind a Server built by Open with a
+// DataDir. A no-op on servers without durable storage.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // NewCoordinator builds a Server in coordinator mode: the /datasets
@@ -208,6 +258,24 @@ func (s *Server) StatsSnapshotContext(ctx context.Context) Snapshot {
 	if s.cluster != nil {
 		snap.Cluster = s.clusterSnapshot(ctx)
 	}
+	if s.store != nil || s.cfg.SpillBudget > 0 {
+		st := &StorageSnapshot{}
+		if s.store != nil {
+			ss := s.store.Stats()
+			st.DataDir = ss.Dir
+			st.Datasets = ss.Datasets
+			st.Recovered = ss.Recovered
+			st.TornTails = ss.TornTails
+			st.WALRecords = ss.WALRecords
+			st.WALBytes = ss.WALBytes
+			st.SnapshotWrites = ss.SnapshotWrites
+		}
+		sp := storage.SpillCounters()
+		st.SpillSets = sp.Sets
+		st.SpillTuples = sp.Tuples
+		st.SpillBytes = sp.Bytes
+		snap.Storage = st
+	}
 	return snap
 }
 
@@ -279,6 +347,14 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (req QueryR
 	// hand-picked path stays byte-identical.
 	if !req.Options.Parallel && req.Options.Batch == 0 && req.Options.Shards == 0 && req.Options.Workers == 0 {
 		exec.Auto = true
+	}
+	// The server-wide spill budget rides along wherever a dedup set can
+	// exist (the spillable set lives on the parallel merge, so the budget
+	// requires Parallel or Auto — the remaining combinations are invalid
+	// anyway and fail validation on their own).
+	if s.cfg.SpillBudget > 0 && (exec.Parallel || exec.Auto) {
+		exec.DedupBudget = s.cfg.SpillBudget
+		exec.SpillDir = s.cfg.SpillDir
 	}
 	return req, u, mode, exec, true
 }
@@ -366,11 +442,22 @@ func (s *Server) respondCount(w http.ResponseWriter, r *http.Request, plan *ucq.
 	if !exact {
 		method = "enumerate"
 		n = 0
-		for range plan.All(r.Context()) {
+		it := plan.AnswersContext(r.Context())
+		defer ucq.CloseAnswers(it)
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
 			n++
 		}
 		if r.Context().Err() != nil {
 			s.stats.requestsCancelled.Add(1)
+			return
+		}
+		if err := ucq.AnswersErr(it); err != nil {
+			// Nothing has been written yet, so a failed spilled dedup can
+			// still be an honest 500 here rather than a wrong count.
+			s.httpError(w, http.StatusInternalServerError, "enumeration: %v", err)
 			return
 		}
 	}
@@ -497,6 +584,26 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 	s.stats.RecordTiming(firstAnswer, maxDelay)
 	if disconnected || r.Context().Err() != nil {
 		s.stats.requestsCancelled.Add(1)
+		return
+	}
+	if err := ucq.AnswersErr(it); err != nil {
+		// The enumeration died mid-stream (spilled dedup hit disk trouble):
+		// the answers already sent are an arbitrary prefix. The status line
+		// is long gone, so honesty lives in the trailer — done stays false
+		// and the error rides along instead.
+		s.stats.errors.Add(1)
+		_ = json.NewEncoder(w).Encode(Trailer{
+			Count:          count,
+			Mode:           plan.Mode.String(),
+			Cache:          meta.cache,
+			Dataset:        meta.dataset,
+			DatasetVersion: meta.dsVersion,
+			Bind:           meta.bind,
+			Error:          fmt.Sprintf("enumeration failed after %d answers: %v", count, err),
+		})
+		if canFlush {
+			flusher.Flush()
+		}
 		return
 	}
 	_ = json.NewEncoder(w).Encode(Trailer{

@@ -64,6 +64,11 @@ type Trailer struct {
 	// zero on single-node responses, keeping their trailers byte-identical.
 	Scatter string `json:"scatter,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	// Error is set (with Done false) when the enumeration itself failed
+	// mid-stream after answers already left the socket — today that is disk
+	// trouble on the spilled dedup path. The answers above the trailer are
+	// then an arbitrary prefix, and Count only counts what was sent.
+	Error string `json:"error,omitempty"`
 }
 
 // CountResponse is the body of a count-only evaluation — the options'

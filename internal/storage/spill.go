@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/database"
+)
+
+// SpillSet is a disk-backed dedup set with the same contract as
+// database.TupleSet.InsertGet, for answer sets that exceed the in-memory
+// dedup budget. It is an open-addressed table over the existing 64-bit
+// tuple hashes: a slot file holds (hash, entry) pairs probed linearly by
+// hash, and a data file holds the tuples themselves, appended once on
+// first insert. Both files live in a private temp directory removed by
+// Close. A SpillSet is NOT safe for concurrent use — like TupleSet, it is
+// owned by the single merge goroutine.
+//
+// On-disk slot layout (little-endian), slotSize bytes per slot:
+//
+//	hash  u64
+//	entry u32  1-based index into the data file's tuple sequence; 0 = empty
+//
+// The +1 encoding lets a freshly truncated (all-zero, and on Linux sparse)
+// slot file mean "all empty" without an init pass. The data file is the
+// tuple sequence itself: entry i's values start at (i-1)*arity*8.
+type SpillSet struct {
+	arity int
+	dir   string
+	slots *os.File
+	data  *os.File
+
+	n        uint64 // tuples stored
+	slotCap  uint64 // slot count, power of two
+	dataOff  int64  // data file append offset
+	row      []database.Value
+	slotBuf  [slotSize]byte
+	nullSeen bool // arity-0 needs no disk
+
+	bytes int64 // slot + data bytes attributed to the package counters
+}
+
+const (
+	slotSize = 12
+	// spillInitialSlots sizes the first slot file; with the 3/4 load bound
+	// that covers 96 tuples before the first grow.
+	spillInitialSlots = 128
+	// spillMaxLoadNum/Den is the 3/4 load factor bound, matching TupleSet.
+	spillMaxLoadNum = 3
+	spillMaxLoadDen = 4
+)
+
+// Package-level spill gauges, surfaced via /stats.
+var (
+	spillSets   atomic.Int64
+	spillTuples atomic.Int64
+	spillBytes  atomic.Int64
+)
+
+// SpillStats aggregates all live SpillSets in the process.
+type SpillStats struct {
+	// Sets counts SpillSets currently open.
+	Sets int64
+	// Tuples counts tuples held across them.
+	Tuples int64
+	// Bytes counts their on-disk footprint (slot + data files).
+	Bytes int64
+}
+
+// SpillCounters snapshots the process-wide spill gauges.
+func SpillCounters() SpillStats {
+	return SpillStats{
+		Sets:   spillSets.Load(),
+		Tuples: spillTuples.Load(),
+		Bytes:  spillBytes.Load(),
+	}
+}
+
+// NewSpillSet creates an empty spill set for tuples of the given arity in a
+// fresh temp directory under dir (os.TempDir() when dir is empty). sizeHint
+// presizes the slot file for about that many tuples.
+func NewSpillSet(dir string, arity, sizeHint int) (*SpillSet, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("storage: negative spill arity %d", arity)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: creating spill directory: %v", err)
+		}
+	}
+	tmp, err := os.MkdirTemp(dir, "ucq-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating spill directory: %v", err)
+	}
+	s := &SpillSet{arity: arity, dir: tmp, row: make([]database.Value, arity)}
+	cap := uint64(spillInitialSlots)
+	for int(cap)*spillMaxLoadNum/spillMaxLoadDen < sizeHint {
+		cap *= 2
+	}
+	if s.slots, err = s.newSlotFile("slots.dat", cap); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	s.slotCap = cap
+	if s.data, err = os.OpenFile(filepath.Join(tmp, "data.dat"), os.O_CREATE|os.O_RDWR, 0o600); err != nil {
+		s.slots.Close()
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("storage: creating spill data file: %v", err)
+	}
+	s.addBytes(int64(cap) * slotSize)
+	spillSets.Add(1)
+	return s, nil
+}
+
+// newSlotFile creates an all-empty slot file of the given capacity.
+// Truncate extends with zeros (sparsely where the filesystem allows), and
+// zero means empty under the entry+1 encoding.
+func (s *SpillSet) newSlotFile(name string, cap uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating spill slot file: %v", err)
+	}
+	if err := f.Truncate(int64(cap) * slotSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: sizing spill slot file: %v", err)
+	}
+	return f, nil
+}
+
+func (s *SpillSet) addBytes(n int64) {
+	s.bytes += n
+	spillBytes.Add(n)
+}
+
+// Len reports the number of distinct tuples inserted.
+func (s *SpillSet) Len() int {
+	n := int(s.n)
+	if s.nullSeen {
+		n++
+	}
+	return n
+}
+
+// InsertGet inserts t if absent. It mirrors TupleSet.InsertGet, except the
+// returned tuple view is a heap copy (there is no arena to point into) and
+// disk trouble surfaces as an error.
+func (s *SpillSet) InsertGet(t database.Tuple) (database.Tuple, bool, error) {
+	return s.InsertGetHash(t.Hash(), t)
+}
+
+// InsertGetHash is InsertGet with the hash already computed — the migration
+// path reuses the hashes the in-memory TupleSet already holds.
+func (s *SpillSet) InsertGetHash(h uint64, t database.Tuple) (database.Tuple, bool, error) {
+	if len(t) != s.arity {
+		return nil, false, fmt.Errorf("storage: spill insert arity %d into set of arity %d", len(t), s.arity)
+	}
+	if s.arity == 0 {
+		if s.nullSeen {
+			return nil, false, nil
+		}
+		s.nullSeen = true
+		return database.Tuple{}, true, nil
+	}
+	if (s.n+1)*spillMaxLoadDen > s.slotCap*spillMaxLoadNum {
+		if err := s.grow(); err != nil {
+			return nil, false, err
+		}
+	}
+	idx := h & (s.slotCap - 1)
+	for {
+		sh, entry, err := s.readSlot(s.slots, idx)
+		if err != nil {
+			return nil, false, err
+		}
+		if entry == 0 {
+			break
+		}
+		if sh == h {
+			row, err := s.readRow(uint64(entry) - 1)
+			if err != nil {
+				return nil, false, err
+			}
+			if t.Equal(row) {
+				return nil, false, nil
+			}
+		}
+		idx = (idx + 1) & (s.slotCap - 1)
+	}
+	if err := s.appendRow(t); err != nil {
+		return nil, false, err
+	}
+	if err := s.writeSlot(s.slots, idx, h, uint32(s.n+1)); err != nil {
+		return nil, false, err
+	}
+	s.n++
+	spillTuples.Add(1)
+	return t.Clone(), true, nil
+}
+
+func (s *SpillSet) readSlot(f *os.File, idx uint64) (uint64, uint32, error) {
+	if _, err := f.ReadAt(s.slotBuf[:], int64(idx)*slotSize); err != nil {
+		return 0, 0, fmt.Errorf("storage: reading spill slot: %v", err)
+	}
+	return binary.LittleEndian.Uint64(s.slotBuf[:8]), binary.LittleEndian.Uint32(s.slotBuf[8:]), nil
+}
+
+func (s *SpillSet) writeSlot(f *os.File, idx uint64, h uint64, entry uint32) error {
+	binary.LittleEndian.PutUint64(s.slotBuf[:8], h)
+	binary.LittleEndian.PutUint32(s.slotBuf[8:], entry)
+	if _, err := f.WriteAt(s.slotBuf[:], int64(idx)*slotSize); err != nil {
+		return fmt.Errorf("storage: writing spill slot: %v", err)
+	}
+	return nil
+}
+
+// readRow loads stored tuple i (0-based) into the reused row buffer.
+func (s *SpillSet) readRow(i uint64) (database.Tuple, error) {
+	buf := make([]byte, s.arity*8)
+	if _, err := s.data.ReadAt(buf, int64(i)*int64(s.arity)*8); err != nil {
+		return nil, fmt.Errorf("storage: reading spill tuple: %v", err)
+	}
+	for k := range s.row {
+		s.row[k] = database.Value(binary.LittleEndian.Uint64(buf[k*8:]))
+	}
+	return database.Tuple(s.row), nil
+}
+
+// appendRow writes t at the end of the data file.
+func (s *SpillSet) appendRow(t database.Tuple) error {
+	buf := make([]byte, len(t)*8)
+	for k, v := range t {
+		binary.LittleEndian.PutUint64(buf[k*8:], uint64(v))
+	}
+	if _, err := s.data.WriteAt(buf, s.dataOff); err != nil {
+		return fmt.Errorf("storage: appending spill tuple: %v", err)
+	}
+	s.dataOff += int64(len(buf))
+	s.addBytes(int64(len(buf)))
+	return nil
+}
+
+// grow doubles the slot file, rehashing every stored tuple into it by a
+// sequential scan of the data file.
+func (s *SpillSet) grow() error {
+	newCap := s.slotCap * 2
+	nf, err := s.newSlotFile("slots-new.dat", newCap)
+	if err != nil {
+		return err
+	}
+	row := make([]database.Value, s.arity)
+	buf := make([]byte, s.arity*8)
+	for i := uint64(0); i < s.n; i++ {
+		if _, err := s.data.ReadAt(buf, int64(i)*int64(s.arity)*8); err != nil {
+			nf.Close()
+			return fmt.Errorf("storage: rehashing spill set: %v", err)
+		}
+		for k := range row {
+			row[k] = database.Value(binary.LittleEndian.Uint64(buf[k*8:]))
+		}
+		h := database.Tuple(row).Hash()
+		idx := h & (newCap - 1)
+		for {
+			_, entry, err := s.readSlot(nf, idx)
+			if err != nil {
+				nf.Close()
+				return err
+			}
+			if entry == 0 {
+				break
+			}
+			idx = (idx + 1) & (newCap - 1)
+		}
+		if err := s.writeSlot(nf, idx, h, uint32(i+1)); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	old := s.slots
+	oldPath := filepath.Join(s.dir, "slots.dat")
+	if err := os.Rename(filepath.Join(s.dir, "slots-new.dat"), oldPath); err != nil {
+		nf.Close()
+		return fmt.Errorf("storage: installing grown spill slots: %v", err)
+	}
+	old.Close()
+	s.slots = nf
+	s.addBytes(int64(newCap-s.slotCap) * slotSize)
+	s.slotCap = newCap
+	return nil
+}
+
+// Close releases the files and removes the temp directory. Safe to call
+// more than once.
+func (s *SpillSet) Close() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.slots.Close()
+	s.data.Close()
+	err := os.RemoveAll(s.dir)
+	s.dir = ""
+	spillSets.Add(-1)
+	spillTuples.Add(-int64(s.n))
+	spillBytes.Add(-s.bytes)
+	return err
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// TestSpillSetMatchesTupleSet inserts an overlapping tuple stream into a
+// SpillSet and an in-memory TupleSet and checks they agree on every
+// fresh/duplicate verdict — the property the spilled dedup path relies on.
+func TestSpillSetMatchesTupleSet(t *testing.T) {
+	ss, err := NewSpillSet(t.TempDir(), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	mem := database.NewTupleSet(2)
+
+	// ~1200 inserts over ~600 distinct tuples forces several grows past the
+	// 128-slot initial file and plenty of duplicate probes.
+	for i := 0; i < 1200; i++ {
+		tup := database.Tuple{database.V(int64(i % 600)), database.V(int64((i * 7) % 600 % 13))}
+		memStored, memFresh := mem.InsertGet(tup)
+		stored, fresh, err := ss.InsertGet(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh != memFresh {
+			t.Fatalf("insert %d (%v): spill fresh=%v, mem fresh=%v", i, tup, fresh, memFresh)
+		}
+		if fresh && !stored.Equal(memStored) {
+			t.Fatalf("insert %d: spill stored %v, mem stored %v", i, stored, memStored)
+		}
+	}
+	if ss.Len() != mem.Len() {
+		t.Fatalf("spill Len %d, mem Len %d", ss.Len(), mem.Len())
+	}
+}
+
+// TestSpillSetHashMigration checks InsertGetHash with hashes taken from a
+// TupleSet (the mem→disk migration path) dedups against direct inserts.
+func TestSpillSetHashMigration(t *testing.T) {
+	mem := database.NewTupleSet(1)
+	for i := 0; i < 50; i++ {
+		mem.Add(database.Tuple{database.V(int64(i))})
+	}
+	ss, err := NewSpillSet(t.TempDir(), 1, mem.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for i := 0; i < mem.Len(); i++ {
+		if _, fresh, err := ss.InsertGetHash(mem.HashAt(i), mem.At(i)); err != nil || !fresh {
+			t.Fatalf("migrating tuple %d: fresh=%v err=%v", i, fresh, err)
+		}
+	}
+	// Every migrated tuple is now a duplicate, whichever entry point is used.
+	for i := 0; i < mem.Len(); i++ {
+		if _, fresh, err := ss.InsertGet(mem.At(i).Clone()); err != nil || fresh {
+			t.Fatalf("post-migration insert %d: fresh=%v err=%v", i, fresh, err)
+		}
+	}
+	if ss.Len() != mem.Len() {
+		t.Fatalf("spill Len %d, mem Len %d", ss.Len(), mem.Len())
+	}
+}
+
+// TestNewSpillSetCreatesDir pins the -spill-dir contract: pointing it at a
+// directory that does not exist yet must work — NewSpillSet creates it.
+// The regression: MkdirTemp failed on the missing directory and the merge's
+// first spill attempt silently truncated the answer stream.
+func TestNewSpillSetCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "spill")
+	ss, err := NewSpillSet(dir, 2, 4)
+	if err != nil {
+		t.Fatalf("NewSpillSet under a nonexistent directory: %v", err)
+	}
+	defer ss.Close()
+	if _, fresh, err := ss.InsertGet(database.Tuple{database.V(1), database.V(2)}); err != nil || !fresh {
+		t.Fatalf("insert into created dir: fresh=%v err=%v", fresh, err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("spill dir was not created: fi=%v err=%v", fi, err)
+	}
+}
+
+// TestSpillSetNullary covers the arity-0 edge: one empty tuple, then
+// duplicates, with no disk traffic needed.
+func TestSpillSetNullary(t *testing.T) {
+	ss, err := NewSpillSet(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, fresh, err := ss.InsertGet(database.Tuple{}); err != nil || !fresh {
+		t.Fatalf("first nullary insert: fresh=%v err=%v", fresh, err)
+	}
+	if _, fresh, err := ss.InsertGet(database.Tuple{}); err != nil || fresh {
+		t.Fatalf("second nullary insert: fresh=%v err=%v", fresh, err)
+	}
+	if ss.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ss.Len())
+	}
+}
+
+// TestSpillCounters checks the process-wide gauges go up on insert and back
+// down on Close.
+func TestSpillCounters(t *testing.T) {
+	before := SpillCounters()
+	ss, err := NewSpillSet(t.TempDir(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ss.InsertGet(database.Tuple{database.V(1), database.V(2)}); err != nil {
+		t.Fatal(err)
+	}
+	mid := SpillCounters()
+	if mid.Sets != before.Sets+1 || mid.Tuples != before.Tuples+1 || mid.Bytes <= before.Bytes {
+		t.Fatalf("counters during use: %+v (before %+v)", mid, before)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	after := SpillCounters()
+	if after != before {
+		t.Fatalf("counters after Close: %+v, want %+v", after, before)
+	}
+}

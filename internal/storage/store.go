@@ -1,0 +1,429 @@
+package storage
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/database"
+)
+
+// Store journals a catalog's dataset mutations under one data directory
+// and replays them on startup. Layout:
+//
+//	<dir>/ds-<hex(name)>/snap-<version>.dat   full-instance snapshot
+//	<dir>/ds-<hex(name)>/wal.dat              append records past the snapshot
+//
+// Snapshot files are written to a temp name, fsynced and atomically
+// renamed; WAL appends are fsynced before the mutation is acknowledged.
+// Replace resets the WAL (its deltas are folded into the new snapshot), so
+// a dataset's durable state is always one snapshot plus a suffix of
+// appends. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	datasets map[string]*dsFiles
+
+	walRecords     atomic.Int64
+	walBytes       atomic.Int64
+	snapshotWrites atomic.Int64
+	recovered      atomic.Int64
+	tornTails      atomic.Int64
+}
+
+// dsFiles is one dataset's open durable state.
+type dsFiles struct {
+	dir string
+	wal *os.File
+}
+
+// Open opens (creating if needed) a store rooted at dir. It does not read
+// anything; call Recover to load the durable datasets.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("storage: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %v", err)
+	}
+	return &Store{dir: dir, datasets: make(map[string]*dsFiles)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases every open WAL handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, ds := range s.datasets {
+		if err := ds.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.datasets = make(map[string]*dsFiles)
+	return first
+}
+
+// dsDir maps a dataset name onto its directory; hex keeps arbitrary names
+// filesystem-safe and the prefix keeps unrelated files out of Recover.
+func (s *Store) dsDir(name string) string {
+	return filepath.Join(s.dir, "ds-"+hex.EncodeToString([]byte(name)))
+}
+
+// LogRegister makes a new dataset durable: its snapshot at version and an
+// empty WAL. The write is fsynced before LogRegister returns.
+func (s *Store) LogRegister(name string, version uint64, inst *database.Instance) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installSnapshot(name, version, inst)
+}
+
+// LogReplace makes a replacement snapshot durable and resets the WAL: the
+// appends it held are folded into the snapshot.
+func (s *Store) LogReplace(name string, version uint64, inst *database.Instance) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installSnapshot(name, version, inst)
+}
+
+// installSnapshot writes snap-<version>.dat atomically, truncates the WAL
+// and drops superseded snapshot files. Callers hold s.mu.
+func (s *Store) installSnapshot(name string, version uint64, inst *database.Instance) error {
+	dir := s.dsDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %v", err)
+	}
+	if err := writeFileSynced(filepath.Join(dir, fmt.Sprintf("snap-%d.dat", version)),
+		appendRecord(nil, encodeInstance(version, inst))); err != nil {
+		return err
+	}
+	s.snapshotWrites.Add(1)
+
+	ds, err := s.openWAL(name, dir)
+	if err != nil {
+		return err
+	}
+	if err := ds.wal.Truncate(0); err != nil {
+		return fmt.Errorf("storage: resetting WAL: %v", err)
+	}
+	if _, err := ds.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("storage: resetting WAL: %v", err)
+	}
+	if err := ds.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing WAL: %v", err)
+	}
+	// Superseded snapshots are garbage, not state: removal is best-effort
+	// and recovery simply ignores older versions when it succeeds.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if v, ok := snapVersion(e.Name()); ok && v != version {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// LogAppend makes one AppendRows delta durable, fsynced before return.
+func (s *Store) LogAppend(name string, version uint64, rels map[string][][]int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.datasets[name]
+	if !ok {
+		return fmt.Errorf("storage: append to unknown dataset %q", name)
+	}
+	rec := appendRecord(nil, encodeAppend(version, rels))
+	if _, err := ds.wal.Write(rec); err != nil {
+		return fmt.Errorf("storage: appending WAL record: %v", err)
+	}
+	if err := ds.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing WAL: %v", err)
+	}
+	s.walRecords.Add(1)
+	s.walBytes.Add(int64(len(rec)))
+	return nil
+}
+
+// LogDrop removes the dataset's durable state.
+func (s *Store) LogDrop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ds, ok := s.datasets[name]; ok {
+		_ = ds.wal.Close()
+		delete(s.datasets, name)
+	}
+	if err := os.RemoveAll(s.dsDir(name)); err != nil {
+		return fmt.Errorf("storage: dropping %q: %v", name, err)
+	}
+	return nil
+}
+
+// openWAL returns the dataset's WAL handle, opening (and registering) it if
+// needed. Callers hold s.mu.
+func (s *Store) openWAL(name, dir string) (*dsFiles, error) {
+	if ds, ok := s.datasets[name]; ok {
+		return ds, nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening WAL: %v", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seeking WAL: %v", err)
+	}
+	ds := &dsFiles{dir: dir, wal: f}
+	s.datasets[name] = ds
+	return ds, nil
+}
+
+// Dataset is one recovered dataset: its name, the exact version it was last
+// acknowledged at, and the replayed instance.
+type Dataset struct {
+	Name    string
+	Version uint64
+	Inst    *database.Instance
+}
+
+// Recover loads every durable dataset: the newest valid snapshot plus the
+// WAL's replayable prefix. A torn WAL tail — a crash mid-append — is
+// truncated away and counted; the dataset recovers at the last fsynced
+// version. A dataset directory with no valid snapshot (a crash between
+// directory creation and the snapshot rename) is removed: nothing in it was
+// ever acknowledged. Recover leaves each WAL open for appending, so a
+// recovered store is immediately writable.
+func (s *Store) Recover() ([]Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %v", err)
+	}
+	var out []Dataset
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ds-") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimPrefix(e.Name(), "ds-"))
+		if err != nil || len(raw) == 0 {
+			continue
+		}
+		name := string(raw)
+		ds, ok, err := s.recoverDataset(name, filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ds)
+			s.recovered.Add(1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// recoverDataset restores one dataset directory. ok is false when the
+// directory holds no acknowledged state and was cleaned up.
+func (s *Store) recoverDataset(name, dir string) (Dataset, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return Dataset{}, false, fmt.Errorf("storage: %v", err)
+	}
+	// Newest valid snapshot wins; older ones only exist when a crash
+	// interrupted the post-replace cleanup.
+	var versions []uint64
+	for _, e := range entries {
+		if v, ok := snapVersion(e.Name()); ok {
+			versions = append(versions, v)
+		}
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+	var (
+		inst    *database.Instance
+		version uint64
+		found   bool
+	)
+	for _, v := range versions {
+		buf, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("snap-%d.dat", v)))
+		if err != nil {
+			continue
+		}
+		payload, _, err := nextRecord(buf)
+		if err != nil {
+			continue
+		}
+		sv, si, err := decodeInstance(payload)
+		if err != nil || sv != v {
+			continue
+		}
+		inst, version, found = si, v, true
+		break
+	}
+	if !found {
+		_ = os.RemoveAll(dir)
+		return Dataset{}, false, nil
+	}
+
+	// Replay the WAL's valid prefix in version order; truncate the torn
+	// tail so later appends never interleave with garbage.
+	walPath := filepath.Join(dir, "wal.dat")
+	buf, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return Dataset{}, false, fmt.Errorf("storage: reading WAL: %v", err)
+	}
+	valid := 0
+	rest := buf
+	for {
+		payload, next, err := nextRecord(rest)
+		if err != nil {
+			if err != io.EOF {
+				s.tornTails.Add(1)
+			}
+			break
+		}
+		v, rels, err := decodeAppend(payload)
+		if err != nil {
+			s.tornTails.Add(1)
+			break
+		}
+		if v <= version {
+			// Stale record from before a snapshot whose WAL reset was
+			// interrupted; the snapshot already folds it in.
+		} else if v == version+1 {
+			applied, err := replayAppend(inst, rels)
+			if err != nil {
+				s.tornTails.Add(1)
+				break
+			}
+			inst = applied
+			version = v
+		} else {
+			// A version gap means records were lost; nothing past it is
+			// trustworthy.
+			s.tornTails.Add(1)
+			break
+		}
+		valid = len(buf) - len(next)
+		rest = next
+		s.walRecords.Add(1)
+	}
+	if valid < len(buf) {
+		if err := os.Truncate(walPath, int64(valid)); err != nil && !os.IsNotExist(err) {
+			return Dataset{}, false, fmt.Errorf("storage: truncating torn WAL tail: %v", err)
+		}
+	}
+	s.walBytes.Add(int64(valid))
+	if _, err := s.openWAL(name, dir); err != nil {
+		return Dataset{}, false, err
+	}
+	return Dataset{Name: name, Version: version, Inst: inst}, true, nil
+}
+
+// replayAppend applies one WAL delta with Dataset.AppendRows semantics:
+// touched relations are cloned and extended, absent ones created with the
+// arity of their first row. Values were range-checked by decodeAppend.
+func replayAppend(inst *database.Instance, rels map[string][][]int64) (*database.Instance, error) {
+	out := inst.ShallowClone()
+	for name, rows := range rels {
+		var rel *database.Relation
+		if old := out.Relation(name); old != nil {
+			if old.Arity() != len(rows[0]) {
+				return nil, fmt.Errorf("storage: WAL append arity %d against relation %s/%d", len(rows[0]), name, old.Arity())
+			}
+			rel = old.Clone()
+		} else {
+			rel = database.NewRelation(name, len(rows[0]))
+		}
+		for _, row := range rows {
+			rel.AppendInts(row...)
+		}
+		out.AddRelation(rel)
+	}
+	return out, nil
+}
+
+// snapVersion parses a snapshot file name.
+func snapVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".dat") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".dat"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// writeFileSynced writes data to path via a temp file, fsyncs it, renames
+// it into place and fsyncs the directory — the atomic-install idiom.
+func writeFileSynced(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-")
+	if err != nil {
+		return fmt.Errorf("storage: %v", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: writing snapshot: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: syncing snapshot: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: closing snapshot: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: installing snapshot: %v", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the store's gauges.
+type Stats struct {
+	// Dir is the data directory.
+	Dir string
+	// Datasets counts datasets with open durable state.
+	Datasets int
+	// WALRecords and WALBytes count acknowledged WAL appends (recovered
+	// records included).
+	WALRecords int64
+	WALBytes   int64
+	// SnapshotWrites counts snapshot installations this process performed.
+	SnapshotWrites int64
+	// Recovered counts datasets restored by Recover.
+	Recovered int64
+	// TornTails counts invalid WAL tails truncated during recovery.
+	TornTails int64
+}
+
+// Stats snapshots the gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.datasets)
+	s.mu.Unlock()
+	return Stats{
+		Dir:            s.dir,
+		Datasets:       n,
+		WALRecords:     s.walRecords.Load(),
+		WALBytes:       s.walBytes.Load(),
+		SnapshotWrites: s.snapshotWrites.Load(),
+		Recovered:      s.recovered.Load(),
+		TornTails:      s.tornTails.Load(),
+	}
+}

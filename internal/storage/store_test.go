@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/database"
+)
+
+func mkInst(rows ...[3]int64) *database.Instance {
+	inst := database.NewInstance()
+	r := database.NewRelation("R", 2)
+	s := database.NewRelation("S", 1)
+	for _, row := range rows {
+		r.AppendInts(row[0], row[1])
+		s.AppendInts(row[2])
+	}
+	inst.AddRelation(r)
+	inst.AddRelation(s)
+	return inst
+}
+
+func instRows(t *testing.T, inst *database.Instance, name string) [][]database.Value {
+	t.Helper()
+	rel := inst.Relation(name)
+	if rel == nil {
+		t.Fatalf("relation %s missing", name)
+	}
+	var out [][]database.Value
+	for i := 0; i < rel.Len(); i++ {
+		out = append(out, database.Tuple(rel.Row(i)).Clone())
+	}
+	return out
+}
+
+func sameInstance(t *testing.T, got, want *database.Instance) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Names(), want.Names()) {
+		t.Fatalf("relation names %v, want %v", got.Names(), want.Names())
+	}
+	for _, name := range want.Names() {
+		if g, w := instRows(t, got, name), instRows(t, want, name); !reflect.DeepEqual(g, w) {
+			t.Fatalf("relation %s rows %v, want %v", name, g, w)
+		}
+	}
+}
+
+// TestStoreRoundtrip drives the full lifecycle — register, appends, replace,
+// more appends — and checks a reopened store recovers the exact state.
+func TestStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("users", 1, mkInst([3]int64{1, 2, 7})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAppend("users", 2, map[string][][]int64{"R": {{3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAppend("users", 3, map[string][][]int64{"S": {{9}}, "T": {{5, 6, 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("empty", 1, database.NewInstance()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d datasets, want 2", len(got))
+	}
+	if got[0].Name != "empty" || got[0].Version != 1 || got[0].Inst.TupleCount() != 0 {
+		t.Fatalf("empty dataset recovered wrong: %+v", got[0])
+	}
+	u := got[1]
+	if u.Name != "users" || u.Version != 3 {
+		t.Fatalf("users recovered at %q v%d, want users v3", u.Name, u.Version)
+	}
+	want := mkInst([3]int64{1, 2, 7})
+	want.Relation("R").AppendInts(3, 4)
+	want.Relation("S").AppendInts(9)
+	tr := database.NewRelation("T", 3)
+	tr.AppendInts(5, 6, 7)
+	want.AddRelation(tr)
+	sameInstance(t, u.Inst, want)
+
+	// The recovered store is immediately writable: the WAL handle is open
+	// and positioned past the replayed records.
+	if err := st2.LogAppend("users", 4, map[string][][]int64{"R": {{8, 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	got3, err := st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3[1].Version != 4 {
+		t.Fatalf("version %d after recovered append, want 4", got3[1].Version)
+	}
+}
+
+// TestStoreReplaceResetsWAL checks Replace folds the WAL into the snapshot
+// and that appends past the replace replay on top of it.
+func TestStoreReplaceResetsWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("d", 1, mkInst([3]int64{1, 1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAppend("d", 2, map[string][][]int64{"R": {{2, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	repl := mkInst([3]int64{5, 5, 5})
+	if err := st.LogReplace("d", 3, repl); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogAppend("d", 4, map[string][][]int64{"R": {{6, 6}}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Version != 4 {
+		t.Fatalf("recovered %+v, want one dataset at v4", got)
+	}
+	want := mkInst([3]int64{5, 5, 5})
+	want.Relation("R").AppendInts(6, 6)
+	sameInstance(t, got[0].Inst, want)
+}
+
+// TestStoreTornTail simulates a crash mid-append: garbage after the last
+// fsynced record. Replay must recover the last acknowledged version, with
+// no partial relation, and truncate the tail so the WAL is clean again.
+func TestStoreTornTail(t *testing.T) {
+	for _, tail := range [][]byte{
+		{0xde},                   // lone garbage byte
+		{0x57, 0x51, 0x43, 0x55}, // valid magic, truncated header
+		appendRecord(nil, encodeAppend(9, map[string][][]int64{"R": {{1, 1}}}))[:20], // truncated record
+		func() []byte { // bit-flipped payload
+			rec := appendRecord(nil, encodeAppend(3, map[string][][]int64{"R": {{1, 1}}}))
+			rec[len(rec)-1] ^= 0x40
+			return rec
+		}(),
+	} {
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.LogRegister("d", 1, mkInst([3]int64{1, 2, 3})); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.LogAppend("d", 2, map[string][][]int64{"R": {{4, 5}}}); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+
+		walPath := filepath.Join(dir, "ds-64", "wal.dat") // hex("d") = 64
+		wal, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walPath, append(wal, tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		st2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st2.Recover()
+		if err != nil {
+			t.Fatalf("tail %x: %v", tail, err)
+		}
+		if len(got) != 1 || got[0].Version != 2 {
+			t.Fatalf("tail %x: recovered %+v, want v2", tail, got)
+		}
+		want := mkInst([3]int64{1, 2, 3})
+		want.Relation("R").AppendInts(4, 5)
+		sameInstance(t, got[0].Inst, want)
+		if n := st2.Stats().TornTails; n != 1 {
+			t.Fatalf("tail %x: TornTails = %d, want 1", tail, n)
+		}
+		st2.Close()
+
+		// The torn tail was truncated: a third open sees a clean WAL.
+		clean, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clean) != len(wal) {
+			t.Fatalf("tail %x: WAL %d bytes after recovery, want %d", tail, len(clean), len(wal))
+		}
+	}
+}
+
+// TestStoreDrop checks LogDrop removes durable state.
+func TestStoreDrop(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LogRegister("d", 1, mkInst([3]int64{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogDrop("d"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("recovered %+v after drop, want none", got)
+	}
+}
+
+// TestStoreSkipsUnacknowledgedDir checks a dataset directory with no valid
+// snapshot (crash before the snapshot rename) is cleaned up, not surfaced.
+func TestStoreSkipsUnacknowledgedDir(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "ds-6a756e6b")
+	if err := os.MkdirAll(junk, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(junk, "snap-1.dat"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("recovered %+v from junk dir, want none", got)
+	}
+	if _, err := os.Stat(junk); !os.IsNotExist(err) {
+		t.Fatalf("junk dataset dir survived recovery: %v", err)
+	}
+}

@@ -44,6 +44,12 @@ type flight[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// doomed is set (under the cache mutex) by a DeleteFunc whose predicate
+	// matched this fill's key while it was still running: the key was
+	// invalidated mid-flight, so the completed value is handed to the
+	// waiters but not cached — caching it would pin an entry no future
+	// lookup can legitimately hit.
+	doomed bool
 }
 
 // New builds a cache holding at most capacity values (minimum 1). A ttl of
@@ -100,7 +106,7 @@ func (c *Cache[V]) Get(key string, fill func() (V, error)) (V, bool, error) {
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if fl.err == nil {
+	if fl.err == nil && !fl.doomed {
 		c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: fl.val, stored: c.now()})
 		for c.order.Len() > c.capacity {
 			last := c.order.Back()
@@ -114,8 +120,12 @@ func (c *Cache[V]) Get(key string, fill func() (V, error)) (V, bool, error) {
 }
 
 // DeleteFunc removes every cached entry whose key satisfies pred and
-// returns how many were removed (counted as evictions). In-flight fills
-// are not affected: their results land in the cache when they complete.
+// returns how many were removed (counted as evictions). An in-flight fill
+// whose key matches is doomed: it still completes and serves the callers
+// already waiting on it, but its result is dropped instead of cached —
+// the deletion said the key's value is no longer valid, so letting a
+// slow fill reinsert it afterwards would pin a stale entry in the LRU
+// that no future lookup can hit.
 func (c *Cache[V]) DeleteFunc(pred func(key string) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -129,6 +139,11 @@ func (c *Cache[V]) DeleteFunc(pred func(key string) bool) int {
 			n++
 		}
 		el = next
+	}
+	for key, fl := range c.inflight {
+		if pred(key) {
+			fl.doomed = true
+		}
 	}
 	return n
 }

@@ -132,6 +132,70 @@ func TestCoalescesConcurrentMisses(t *testing.T) {
 	}
 }
 
+// TestDeleteFuncDoomsInflight pins the purge/fill race fix: a DeleteFunc
+// whose predicate matches a fill still in flight must keep that fill's
+// result out of the cache. Before the fix, the completed fill reinserted
+// an entry for the purged key — a dead version no lookup could ever hit
+// again — pinning it in the LRU until capacity eviction.
+func TestDeleteFuncDoomsInflight(t *testing.T) {
+	c := New[int](8, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, hit, err := c.Get("ds|v1", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		// The waiter is still served its value; only caching is dropped.
+		if got != 7 || hit || err != nil {
+			t.Errorf("doomed fill returned got=%d hit=%v err=%v", got, hit, err)
+		}
+	}()
+	<-started
+	// The purge races the fill and must doom it, even though there is no
+	// cached entry to remove yet.
+	if n := c.DeleteFunc(func(k string) bool { return k == "ds|v1" }); n != 0 {
+		t.Fatalf("deleted %d cached entries, want 0 (fill was in flight)", n)
+	}
+	close(release)
+	<-done
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("purged-while-filling key was cached anyway: %+v", st)
+	}
+	// The next Get is a genuine miss, not a stale hit.
+	var calls int32
+	if _, hit, _ := c.Get("ds|v1", fillConst(9, &calls)); hit || calls != 1 {
+		t.Fatalf("lookup after doomed fill: hit=%v calls=%d, want a fresh miss", hit, calls)
+	}
+}
+
+// TestDeleteFuncSparesUnmatchedInflight checks dooming is keyed: a purge of
+// one prefix leaves unrelated in-flight fills cacheable.
+func TestDeleteFuncSparesUnmatchedInflight(t *testing.T) {
+	c := New[int](8, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Get("ds2|v1", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	c.DeleteFunc(func(k string) bool { return strings.HasPrefix(k, "ds1|") })
+	close(release)
+	<-done
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("unmatched in-flight fill was not cached: %+v", st)
+	}
+}
+
 func TestDeleteFunc(t *testing.T) {
 	c := New[int](8, 0)
 	var calls int32

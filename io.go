@@ -100,18 +100,35 @@ func InstanceFromRows(rels map[string][][]int64) (*Instance, error) {
 // range and appends them — the one validation path for relation rows
 // arriving over the wire (InstanceFromRows and Dataset.AppendRows).
 func appendWireRows(rel *database.Relation, name string, rows [][]int64) error {
+	if err := validateWireRows(name, rel.Arity(), rows); err != nil {
+		return err
+	}
+	appendValidatedRows(rel, rows)
+	return nil
+}
+
+// validateWireRows checks rows against an expected arity and the value
+// payload range without touching a relation, so writers can reject a bad
+// payload before taking any lock.
+func validateWireRows(name string, arity int, rows [][]int64) error {
 	for i, row := range rows {
-		if len(row) != rel.Arity() {
-			return fmt.Errorf("ucq: %s row %d: %d values, expected %d", name, i, len(row), rel.Arity())
+		if len(row) != arity {
+			return fmt.Errorf("ucq: %s row %d: %d values, expected %d", name, i, len(row), arity)
 		}
 		for _, v := range row {
 			if v > database.MaxPayload || v < database.MinPayload {
 				return fmt.Errorf("ucq: %s row %d: value %d outside the %d-bit payload range", name, i, v, 56)
 			}
 		}
-		rel.AppendInts(row...)
 	}
 	return nil
+}
+
+// appendValidatedRows appends rows already vetted by validateWireRows.
+func appendValidatedRows(rel *database.Relation, rows [][]int64) {
+	for _, row := range rows {
+		rel.AppendInts(row...)
+	}
 }
 
 // ReadInstanceJSON decodes a JSON object mapping relation names to integer

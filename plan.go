@@ -73,6 +73,18 @@ type PlanOptions struct {
 	// longer serialises on one goroutine. 0 selects GOMAXPROCS. Requires
 	// Parallel.
 	Workers int
+	// DedupBudget bounds the number of distinct answers the parallel
+	// merge's dedup set holds in memory. Past it the set migrates to a
+	// disk-backed table (internal/storage) and enumeration continues with
+	// the identical answer set, trading dedup probes for disk reads instead
+	// of growing without bound. With Auto, the budget also feeds the cost
+	// model: an exact Theorem 12 count above it forces the spillable
+	// parallel merge even where the mode choice would have been sequential.
+	// 0 means unbounded (never spill). Requires Parallel or Auto.
+	DedupBudget int64
+	// SpillDir hosts spilled dedup tables (a private temp directory is
+	// created per spill); empty selects os.TempDir(). Requires DedupBudget.
+	SpillDir string
 	// Auto lets the planner pick Parallel, Shards and Workers itself at
 	// bind time, from what it already knows about the (query, instance)
 	// pair: relation cardinalities, the exact per-branch answer counts of
@@ -138,6 +150,15 @@ func (o *PlanOptions) validate() error {
 	if o.Workers > 0 && !o.Parallel {
 		return &OptionsError{Field: "Workers", Reason: "a worker pool requires Parallel"}
 	}
+	if o.DedupBudget < 0 {
+		return &OptionsError{Field: "DedupBudget", Reason: fmt.Sprintf("must be ≥ 0, got %d", o.DedupBudget)}
+	}
+	if o.DedupBudget > 0 && !o.Parallel && !o.Auto {
+		return &OptionsError{Field: "DedupBudget", Reason: "the spillable dedup set lives on the parallel merge; requires Parallel or Auto"}
+	}
+	if o.SpillDir != "" && o.DedupBudget == 0 {
+		return &OptionsError{Field: "SpillDir", Reason: "meaningless without a DedupBudget"}
+	}
 	return nil
 }
 
@@ -153,12 +174,14 @@ type Plan struct {
 	// Cert is the free-connexity certificate (ConstantDelay mode only).
 	Cert *Certificate
 
-	union    *core.UnionPlan
-	inst     *database.Instance
-	parallel bool
-	batch    int
-	shards   int
-	workers  int
+	union       *core.UnionPlan
+	inst        *database.Instance
+	parallel    bool
+	batch       int
+	shards      int
+	workers     int
+	spillBudget int64
+	spillDir    string
 	// decision is the Auto planner's resolved configuration and
 	// provenance; nil for hand-picked execution options.
 	decision *cost.Decision
@@ -198,6 +221,9 @@ type Decision struct {
 	Parallel bool
 	Shards   int
 	Workers  int
+	// Spill reports that the exact answer count exceeds the memory budget
+	// and the merge's dedup set will migrate to disk.
+	Spill bool
 	// Kind names the strategy: "sequential", "parallel" or "sharded".
 	Kind string
 	// Reason explains the pick in one sentence.
@@ -214,8 +240,12 @@ type Decision struct {
 
 // String renders the decision with its reason.
 func (d *Decision) String() string {
-	return fmt.Sprintf("%s (parallel=%v shards=%d workers=%d): %s",
-		d.Kind, d.Parallel, d.Shards, d.Workers, d.Reason)
+	spill := ""
+	if d.Spill {
+		spill = " spill=true"
+	}
+	return fmt.Sprintf("%s (parallel=%v shards=%d workers=%d%s): %s",
+		d.Kind, d.Parallel, d.Shards, d.Workers, spill, d.Reason)
 }
 
 // Decision returns the Auto planner's provenance for this bind, or nil
@@ -229,6 +259,7 @@ func (p *Plan) Decision() *Decision {
 		Parallel: d.Parallel,
 		Shards:   d.Shards,
 		Workers:  d.Workers,
+		Spill:    d.Spill,
 		Kind:     d.Kind(),
 		Reason:   d.Reason,
 		Rows:     d.Inputs.Rows,
@@ -363,6 +394,8 @@ func (pq *PreparedQuery) execOptions(exec *PlanOptions) (PlanOptions, error) {
 		opts.Shards = exec.Shards
 		opts.Workers = exec.Workers
 		opts.Auto = exec.Auto
+		opts.DedupBudget = exec.DedupBudget
+		opts.SpillDir = exec.SpillDir
 	}
 	return opts, nil
 }
@@ -402,6 +435,7 @@ func (pq *PreparedQuery) bindInstance(ctx context.Context, inst *Instance, opts 
 			cpus := autoCPUs()
 			in := up.CostInputs(cpus)
 			in.CPUs = cpus
+			in.MemBudget = opts.DedupBudget
 			d := cost.Decide(in)
 			dec = &d
 			shards = d.Shards
@@ -451,18 +485,20 @@ func (pq *PreparedQuery) newBoundPlan(ctx context.Context, inst *Instance, opts 
 		opts.Workers = bq.decision.Workers
 	}
 	return &Plan{
-		Query:     pq.Query,
-		Evaluated: pq.Evaluated,
-		Mode:      pq.Mode,
-		Cert:      pq.Cert,
-		union:     bq.union,
-		inst:      inst,
-		parallel:  opts.Parallel,
-		batch:     opts.ParallelBatch,
-		shards:    opts.Shards,
-		workers:   opts.Workers,
-		decision:  bq.decision,
-		ctx:       ctx,
+		Query:       pq.Query,
+		Evaluated:   pq.Evaluated,
+		Mode:        pq.Mode,
+		Cert:        pq.Cert,
+		union:       bq.union,
+		inst:        inst,
+		parallel:    opts.Parallel,
+		batch:       opts.ParallelBatch,
+		shards:      opts.Shards,
+		workers:     opts.Workers,
+		spillBudget: opts.DedupBudget,
+		spillDir:    opts.SpillDir,
+		decision:    bq.decision,
+		ctx:         ctx,
 	}
 }
 
@@ -505,7 +541,15 @@ func (p *Plan) AnswersContext(ctx context.Context) Answers {
 		return enumeration.NewSliceIterator(nil)
 	}
 	if p.Mode == ConstantDelay {
-		eo := core.ExecOptions{BatchSize: p.batch, Workers: p.workers}
+		eo := core.ExecOptions{
+			BatchSize: p.batch,
+			Workers:   p.workers,
+			// The budget rides along unconditionally: the merge applies it
+			// only where a dedup set exists (non-disjoint), so it enforces
+			// the bound even on binds whose decision predates the overage.
+			SpillBudget: int(p.spillBudget),
+			SpillDir:    p.spillDir,
+		}
 		if p.shards > 0 {
 			it, err := p.union.IteratorParallelShardedCtx(ctx, eo)
 			if err != nil {
@@ -557,6 +601,16 @@ func (p *Plan) bindCtx() context.Context {
 // the release to every member.
 func CloseAnswers(it Answers) {
 	enumeration.CloseIterator(it)
+}
+
+// AnswersErr reports the error that ended an answer stream prematurely, if
+// any — today that is disk trouble on the spilled dedup path (a
+// PlanOptions.DedupBudget overflow that could not migrate to SpillDir).
+// Check it after Next reports exhaustion: a non-nil error means the stream
+// was truncated, not completed, and the answers seen so far are an
+// arbitrary prefix. Streams without an error channel report nil.
+func AnswersErr(it Answers) error {
+	return enumeration.IterErr(it)
 }
 
 // All returns a fresh duplicate-free answer stream as a Go range-over-func
