@@ -161,12 +161,12 @@ type Comparison struct {
 }
 
 // parallelBench matches the benchmarks whose ns/op scales with the core
-// count — the parallel, sharded, work-stealing, auto-mode and distributed
-// fan-out experiments.
+// count — the parallel, sharded, work-stealing, auto-mode, distributed
+// fan-out and concurrent wire-throughput experiments.
 // Comparing their timings across machines with different parallelism
 // measures the hardware, not the code, so the gate skips them (with a
 // warning) when the snapshots' GOMAXPROCS differ.
-var parallelBench = regexp.MustCompile(`^BenchmarkE1[2-9]|^BenchmarkE20`)
+var parallelBench = regexp.MustCompile(`^BenchmarkE1[2-9]|^BenchmarkE2[01]`)
 
 // Ratio is one benchmark's regression factor.
 type Ratio struct {

@@ -17,6 +17,13 @@
 // certified single-branch plans answer from the Theorem 12 counting pass
 // without enumerating.
 //
+// With -remote URL the query is not evaluated locally: it is POSTed to a
+// running ucq-serve instance (to /query with the -r relations inline, or
+// to /datasets/{name}/query when -dataset names a server-side dataset)
+// and the answer stream is decoded client-side. -wire picks the stream
+// encoding to request: "binary" (the default — the compact columnar
+// frames) or "ndjson".
+//
 // With -dataset the relations are registered as a named dataset in an
 // in-process catalog and the query is evaluated through
 // Prepare/BindDataset — the same code path the server's
@@ -27,9 +34,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -62,6 +74,8 @@ func main() {
 	shards := flag.Int("shards", 0, "hash-partition each branch across N shards (requires -parallel; 0 = off)")
 	workers := flag.Int("workers", 0, "work-stealing executor pool size (requires -parallel; 0 = GOMAXPROCS)")
 	dataset := flag.String("dataset", "", "register the instance as a catalog dataset `name[=instance.json]` and bind through it")
+	remote := flag.String("remote", "", "evaluate against a running ucq-serve at this base `URL` instead of locally")
+	wireFlag := flag.String("wire", "binary", "answer-stream encoding to request from -remote: binary | ndjson")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -75,6 +89,11 @@ func main() {
 	u, err := ucq.Parse(string(src))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *wireFlag, string(src), rels, *dataset, *mode, *limit, *countOnly)
+		return
 	}
 
 	inst := ucq.NewInstance()
@@ -188,6 +207,117 @@ func newPlan(u *ucq.UCQ, inst *ucq.Instance, opts *ucq.PlanOptions, dsName strin
 		return nil, err
 	}
 	return pq.BindDataset(ds)
+}
+
+// runRemote POSTs the query to a ucq-serve instance and decodes the
+// answer stream client-side with ucq.DecodeAnswerStream — the same helper
+// the tests use, over whichever encoding -wire requested.
+func runRemote(base, wireEnc, query string, rels relFlags, dataset string, mode string, limit int, countOnly bool) {
+	var accept string
+	switch wireEnc {
+	case "binary":
+		accept = ucq.MediaTypeBinary
+	case "ndjson":
+		accept = ucq.MediaTypeNDJSON
+	default:
+		fatal(fmt.Errorf("invalid -wire %q: want binary or ndjson", wireEnc))
+	}
+
+	relations := map[string][][]int64{}
+	for name, path := range rels {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err := ucq.ReadRelationCSV(f, name)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rows := make([][]int64, 0, rel.Len())
+		for _, t := range rel.Rows() {
+			row := make([]int64, len(t))
+			for i, v := range t {
+				row[i] = v.Payload()
+			}
+			rows = append(rows, row)
+		}
+		relations[name] = rows
+	}
+
+	type queryOptions struct {
+		Mode      string `json:"mode,omitempty"`
+		CountOnly bool   `json:"count_only,omitempty"`
+	}
+	body, err := json.Marshal(struct {
+		Query     string               `json:"query"`
+		Relations map[string][][]int64 `json:"relations,omitempty"`
+		Options   queryOptions         `json:"options"`
+		Limit     int                  `json:"limit,omitempty"`
+	}{Query: query, Relations: relations, Options: queryOptions{Mode: mode}, Limit: limit})
+	if err != nil {
+		fatal(err)
+	}
+
+	url := strings.TrimSuffix(base, "/") + "/query"
+	dsName, _, _ := strings.Cut(dataset, "=")
+	if dsName != "" {
+		if len(relations) > 0 {
+			fatal(fmt.Errorf("-remote dataset queries run against the server's dataset; drop the -r flags"))
+		}
+		url = strings.TrimSuffix(base, "/") + "/datasets/" + dsName + "/query"
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw))))
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	n := 0
+	var buf []byte
+	tr, err := ucq.DecodeAnswerStream(resp.Body, resp.Header.Get("Content-Type"), func(t ucq.Tuple) bool {
+		n++
+		if !countOnly {
+			buf = buf[:0]
+			for i, v := range t {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, v.String()...)
+			}
+			buf = append(buf, '\n')
+			out.Write(buf)
+		}
+		return true
+	})
+	if err != nil {
+		out.Flush()
+		fatal(err)
+	}
+	if tr != nil {
+		if tr.Error != "" {
+			out.Flush()
+			fatal(fmt.Errorf("server stream failed after %d answers: %s", n, tr.Error))
+		}
+		fmt.Fprintf(os.Stderr, "ucq-run: %s evaluation via %s (%s)\n", tr.Mode, base, resp.Header.Get("Content-Type"))
+	}
+	if countOnly {
+		fmt.Fprintln(out, n)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -11,7 +11,8 @@
 //	          [-data-dir ""] [-dedup-budget 0] [-spill-dir ""]
 //	          [-role single|worker|coordinator] [-workers http://w1:8454,...]
 //	          [-scatter-stall 30s] [-scatter-retries 4] [-scatter-backoff 50ms]
-//	          [-scatter-marker 128]
+//	          [-scatter-marker 128] [-max-streams 2*GOMAXPROCS]
+//	          [-queue-deadline 1s]
 //
 // Endpoints:
 //
@@ -45,6 +46,14 @@
 // the strategy per bind from the bound instance; /stats reports the
 // decision mix under decision_modes. Any explicit knob pins manual
 // execution.
+//
+// Answer streams are NDJSON by default; a request whose Accept header
+// names application/x-ucq-bin with the highest q-value gets the compact
+// binary columnar frame encoding instead (see the README's "Wire
+// protocol" section). Streaming requests are admission-controlled: at
+// most -max-streams run concurrently, excess requests queue for up to
+// -queue-deadline and are then shed with 429 + Retry-After; /stats
+// reports the gate under "wire".
 //
 // Durability: -data-dir makes the dataset catalog persistent — every
 // dataset write is journaled (snapshot + fsynced WAL) under the directory
@@ -111,6 +120,8 @@ func main() {
 	scatterRetries := flag.Int("scatter-retries", cluster.DefaultMaxAttempts, "attempts per root range before the query fails")
 	scatterBackoff := flag.Duration("scatter-backoff", cluster.DefaultBackoff, "base backoff between a worker's consecutive failures (doubles per failure)")
 	scatterMarker := flag.Int("scatter-marker", cluster.DefaultMarkerEvery, "ask workers for a progress marker about every N answers")
+	maxStreams := flag.Int("max-streams", 0, "concurrent streaming-request cap; excess requests queue then shed with 429 (0 = 2*GOMAXPROCS)")
+	queueDeadline := flag.Duration("queue-deadline", server.DefaultQueueDeadline, "how long a streaming request may queue for a slot before it is shed")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -123,6 +134,8 @@ func main() {
 		DataDir:       *dataDir,
 		SpillBudget:   *dedupBudget,
 		SpillDir:      *spillDir,
+		MaxStreams:    *maxStreams,
+		QueueDeadline: *queueDeadline,
 	}
 	var s *server.Server
 	switch *role {

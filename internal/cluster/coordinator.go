@@ -13,6 +13,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/database"
+	"repro/internal/wire"
 )
 
 // Defaults for Config zero values.
@@ -379,6 +382,7 @@ func (c *Coordinator) Query(ctx context.Context, spec QuerySpec) (*Stream, error
 		Bind:           hdr.Bind,
 		Dataset:        hdr.Dataset,
 		DatasetVersion: hdr.DatasetVersion,
+		Arity:          hdr.Arity,
 	}
 	if hdr.Scatterable {
 		head.RootLen = hdr.RootLen
@@ -443,8 +447,9 @@ func (c *Coordinator) fallbackStream(ctx context.Context, hdr Header, spec Query
 }
 
 // fallbackOnce streams one worker's full answer set into out, re-framed
-// as chunks of at most MarkerEvery lines. delivered reports whether any
-// chunk reached the consumer.
+// as chunks of at most MarkerEvery tuples. Like scatter calls, it asks
+// for the binary encoding and keys the decode path on the response
+// Content-Type. delivered reports whether any chunk reached the consumer.
 func (c *Coordinator) fallbackOnce(ctx context.Context, worker, dataset string, body []byte, out chan<- Chunk) (delivered bool, err error) {
 	callCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -457,7 +462,7 @@ func (c *Coordinator) fallbackOnce(ctx context.Context, worker, dataset string, 
 		cancel()
 	})
 	defer watchdog.Stop()
-	resp, err := c.sc.post(callCtx, worker+"/datasets/"+dataset+"/query", body)
+	resp, err := c.sc.post(callCtx, worker+"/datasets/"+dataset+"/query", body, wire.MediaTypeBinary)
 	if err != nil {
 		if stalled.Load() {
 			return false, fmt.Errorf("cluster: worker %s: stalled (no response for %s)", worker, c.sc.stall)
@@ -465,24 +470,73 @@ func (c *Coordinator) fallbackOnce(ctx context.Context, worker, dataset string, 
 		return false, err
 	}
 	defer resp.Body.Close()
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	var lines [][]byte
+
+	var tuples []database.Tuple
 	flush := func() bool {
-		if len(lines) == 0 {
+		if len(tuples) == 0 {
 			return true
 		}
 		watchdog.Stop()
 		defer watchdog.Reset(c.sc.stall)
 		select {
-		case out <- Chunk{Lines: lines}:
+		case out <- Chunk{Tuples: tuples}:
 			delivered = true
-			lines = nil
+			tuples = nil
 			return true
 		case <-ctx.Done():
 			return false
 		}
 	}
+
+	if isBinary(resp) {
+		dec := wire.NewDecoder(bufio.NewReaderSize(resp.Body, 64<<10))
+		for {
+			fr, err := dec.Next()
+			watchdog.Stop()
+			if err == io.EOF {
+				// EOF without a trailer: the worker died or was cancelled
+				// mid-stream.
+				if stalled.Load() {
+					return delivered, fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, c.sc.stall)
+				}
+				return delivered, fmt.Errorf("cluster: worker %s: stream ended without a trailer", worker)
+			}
+			if err != nil {
+				if stalled.Load() {
+					return delivered, fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, c.sc.stall)
+				}
+				return delivered, fmt.Errorf("cluster: worker %s: reading stream: %v", worker, err)
+			}
+			switch fr.Kind {
+			case wire.KindBlock:
+				tuples = append(tuples, fr.Tuples...)
+				if len(tuples) >= c.cfg.MarkerEvery {
+					if !flush() {
+						return delivered, ctx.Err()
+					}
+				}
+			case wire.KindTrailer:
+				if fr.Trailer.Error != "" {
+					return delivered, fmt.Errorf("cluster: worker %s: stream error: %s", worker, fr.Trailer.Error)
+				}
+				if !fr.Trailer.Done {
+					return delivered, fmt.Errorf("cluster: worker %s: trailer without done", worker)
+				}
+				if !flush() {
+					return delivered, ctx.Err()
+				}
+				// Drain the framing tail to EOF so the transport keeps the
+				// connection; the watchdog bounds the read.
+				watchdog.Reset(c.sc.stall)
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				return delivered, nil
+			}
+			watchdog.Reset(c.sc.stall)
+		}
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for scanner.Scan() {
 		watchdog.Reset(c.sc.stall)
 		raw := scanner.Bytes()
@@ -514,17 +568,21 @@ func (c *Coordinator) fallbackOnce(ctx context.Context, worker, dataset string, 
 			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			return delivered, nil
 		}
-		line := make([]byte, 0, len(raw)+1)
-		line = append(line, raw...)
-		line = append(line, '\n')
-		lines = append(lines, line)
-		if len(lines) >= c.cfg.MarkerEvery {
+		t, err := wire.ParseTupleNDJSON(raw)
+		if err != nil {
+			return delivered, fmt.Errorf("cluster: worker %s: malformed answer line %q: %v", worker, raw, err)
+		}
+		tuples = append(tuples, t)
+		if len(tuples) >= c.cfg.MarkerEvery {
 			if !flush() {
 				return delivered, ctx.Err()
 			}
 		}
 	}
 	if err := scanner.Err(); err != nil {
+		if stalled.Load() {
+			return delivered, fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, c.sc.stall)
+		}
 		return delivered, fmt.Errorf("cluster: worker %s: reading stream: %v", worker, err)
 	}
 	// EOF without a trailer: the worker died or cancelled mid-stream.

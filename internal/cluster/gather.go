@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/database"
 )
 
 // The gather loop is internal/exec's steal/split lifted to the network.
@@ -23,12 +25,14 @@ import (
 // bounded retries with backoff — so a worker killed mid-stream costs the
 // query nothing but latency, and never a duplicate or lost answer.
 
-// Chunk is one marker-aligned batch of merged answers: NDJSON answer
-// lines, newline-terminated, in worker stream order. Chunks from
-// different workers cover disjoint root ranges, so concatenating them is
-// the whole merge.
+// Chunk is one marker-aligned batch of merged answers, decoded to tuples
+// in worker stream order. Chunks from different workers cover disjoint
+// root ranges, so concatenating them is the whole merge — and because the
+// scatter hop decodes whatever encoding it negotiated with the worker,
+// the coordinator re-frames chunks to the client in *its* negotiated
+// encoding without a text round trip in between.
 type Chunk struct {
-	Lines [][]byte
+	Tuples []database.Tuple
 }
 
 // StreamStats counts the scatter activity behind one Stream.
@@ -57,6 +61,8 @@ type Header struct {
 	// worker; the per-worker version guard keeps the others consistent).
 	Dataset        string
 	DatasetVersion uint64
+	// Arity is the answer tuple width, from the probed worker's plan.
+	Arity int
 	// RootLen is the scattered root domain size (0 for fallback streams).
 	RootLen int
 	// Scatter is the merge strategy: "root-range" or "single-worker".
@@ -359,10 +365,10 @@ func (g *gather) serve(i int, worker string, seg segment) error {
 		g.mu.Unlock()
 		g.c.scatterCalls.Add(1)
 
-		err := g.sc.run(g.ctx, worker, g.dataset, &req, g.rootLen, func(lines [][]byte, rootDone int) bool {
-			if len(lines) > 0 {
+		err := g.sc.run(g.ctx, worker, g.dataset, &req, g.rootLen, func(tuples []database.Tuple, rootDone int) bool {
+			if len(tuples) > 0 {
 				select {
-				case g.out <- Chunk{Lines: lines}:
+				case g.out <- Chunk{Tuples: tuples}:
 				case <-g.ctx.Done():
 					return true
 				}

@@ -51,7 +51,10 @@ func TestCoordinatorScatterRetryLeak(t *testing.T) {
 	rels := clusterRelations(300, 10, 4)
 	tc := bootCluster(t, 3,
 		cluster.Config{MarkerEvery: 8, Backoff: time.Millisecond, StallTimeout: 5 * time.Second},
-		map[int]middleware{0: abortEveryOther(1 << 10)})
+		// The abort threshold is sized for the binary encoding: compact
+		// enough that a whole range can fit in a kilobyte, so the killer
+		// must trip earlier to keep forcing retries.
+		map[int]middleware{0: abortEveryOther(1 << 7)})
 	tc.putDataset(t, "join", rels)
 	want := referenceAnswers(t, fullJoin, rels)
 

@@ -9,13 +9,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/database"
+	"repro/internal/wire"
 )
 
 // scatterClient issues range-scoped scatter calls against workers and
-// parses their NDJSON streams. One call is one HTTP request; the gather
-// layer decides what to do with markers, retries and re-splits.
+// decodes their answer streams into tuples. Scatter calls ask for the
+// binary columnar encoding (the coordinator⇄worker hop is entirely under
+// our control, so there is no reason to pay for text), but the client
+// keys its decode path on the response Content-Type, so a worker that
+// only speaks NDJSON still merges correctly. One call is one HTTP
+// request; the gather layer decides what to do with markers, retries and
+// re-splits.
 type scatterClient struct {
 	hc *http.Client
 	// stall is the per-worker deadline, expressed as the longest the client
@@ -56,14 +65,18 @@ func WorkerStatus(err error) (int, bool) {
 	return 0, false
 }
 
-// post issues one POST with a JSON body and returns the response; non-200
-// responses are drained, decoded and returned as *workerError.
-func (sc *scatterClient) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+// post issues one POST with a JSON body and returns the response; accept,
+// if non-empty, is sent as the Accept header. Non-200 responses are
+// drained, decoded and returned as *workerError.
+func (sc *scatterClient) post(ctx context.Context, url string, body []byte, accept string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := sc.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -84,9 +97,20 @@ func (sc *scatterClient) post(ctx context.Context, url string, body []byte) (*ht
 	return resp, nil
 }
 
+// isBinary reports whether a response carries the binary frame encoding.
+func isBinary(resp *http.Response) bool {
+	ct := resp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wire.MediaTypeBinary
+}
+
 // probe asks one worker for a scatter header without enumerating: the
-// coordinator learns RootLen, whether the plan is scatterable, and the
-// plan/bind provenance of the probed worker.
+// coordinator learns RootLen, the answer arity, whether the plan is
+// scatterable, and the plan/bind provenance of the probed worker. Probes
+// stay on NDJSON — one text line is simpler than a frame handshake and
+// costs nothing at this volume.
 func (sc *scatterClient) probe(ctx context.Context, worker, dataset string, req *ScatterRequest) (*ScatterHeader, error) {
 	pr := *req
 	pr.Probe = true
@@ -94,7 +118,7 @@ func (sc *scatterClient) probe(ctx context.Context, worker, dataset string, req 
 	// so a frozen worker cannot wedge query admission.
 	pctx, cancel := context.WithTimeout(ctx, sc.stall)
 	defer cancel()
-	resp, err := sc.post(pctx, worker+"/datasets/"+dataset+"/scatter", pr.Encode())
+	resp, err := sc.post(pctx, worker+"/datasets/"+dataset+"/scatter", pr.Encode(), "")
 	if err != nil {
 		return nil, err
 	}
@@ -115,14 +139,14 @@ func (sc *scatterClient) probe(ctx context.Context, worker, dataset string, req 
 }
 
 // run issues one scatter call and walks its stream. onChunk is invoked at
-// every progress point — each marker and the trailer — with the answer
-// lines accumulated since the previous one (possibly none) and the root
-// progress; returning stop=true cancels the call mid-stream and run
-// returns errShed. run returns nil only when the trailer was reached, so
-// the caller knows the whole [RootLo, RootHi) range was delivered.
+// every progress point — each marker and the trailer — with the answers
+// decoded since the previous one (possibly none) and the root progress;
+// returning stop=true cancels the call mid-stream and run returns
+// errShed. run returns nil only when the trailer was reached, so the
+// caller knows the whole [RootLo, RootHi) range was delivered.
 // expectRootLen guards against inconsistent replicas: a worker whose plan
 // disagrees on the root domain must not contribute answers.
-func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *ScatterRequest, expectRootLen int, onChunk func(lines [][]byte, rootDone int) (stop bool)) error {
+func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *ScatterRequest, expectRootLen int, onChunk func(tuples []database.Tuple, rootDone int) (stop bool)) error {
 	callCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -139,7 +163,7 @@ func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *S
 	})
 	defer watchdog.Stop()
 
-	resp, err := sc.post(callCtx, worker+"/datasets/"+dataset+"/scatter", req.Encode())
+	resp, err := sc.post(callCtx, worker+"/datasets/"+dataset+"/scatter", req.Encode(), wire.MediaTypeBinary)
 	if err != nil {
 		if stalled.Load() {
 			return fmt.Errorf("cluster: worker %s: stalled (no response for %s)", worker, sc.stall)
@@ -148,11 +172,96 @@ func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *S
 	}
 	defer resp.Body.Close()
 
+	if isBinary(resp) {
+		err = sc.runBinary(resp, worker, req, expectRootLen, watchdog, onChunk)
+	} else {
+		err = sc.runNDJSON(resp, worker, req, expectRootLen, watchdog, onChunk)
+	}
+	// A watchdog trip surfaces as a read error on the cancelled body; name
+	// the stall instead. Clean completions and sheds pass through.
+	if err != nil && err != errShed && stalled.Load() {
+		return fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, sc.stall)
+	}
+	return err
+}
+
+// runBinary walks a binary frame stream. The wire decoder enforces the
+// frame grammar (header first, checksums, arity agreement); this loop
+// enforces the scatter protocol on top of it.
+func (sc *scatterClient) runBinary(resp *http.Response, worker string, req *ScatterRequest, expectRootLen int, watchdog *time.Timer, onChunk func([]database.Tuple, int) bool) error {
+	dec := wire.NewDecoder(bufio.NewReaderSize(resp.Body, 64<<10))
+	var (
+		tuples   []database.Tuple
+		progress = req.RootLo
+	)
+	for {
+		fr, err := dec.Next()
+		watchdog.Stop()
+		if err == io.EOF {
+			return fmt.Errorf("cluster: worker %s: stream ended without a trailer", worker)
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: worker %s: reading stream: %v", worker, err)
+		}
+		switch fr.Kind {
+		case wire.KindHeader:
+			var hdr ScatterHeader
+			if err := json.Unmarshal(fr.Meta, &hdr); err != nil || !hdr.Header {
+				return fmt.Errorf("cluster: worker %s: malformed scatter header meta", worker)
+			}
+			if !hdr.Scatterable {
+				return fmt.Errorf("cluster: worker %s: plan is not scatterable", worker)
+			}
+			if hdr.RootLen != expectRootLen {
+				return fmt.Errorf("cluster: worker %s: root domain %d disagrees with probe %d (inconsistent replica?)",
+					worker, hdr.RootLen, expectRootLen)
+			}
+			if hdr.Arity != fr.Arity {
+				return fmt.Errorf("cluster: worker %s: header arity %d disagrees with frame arity %d",
+					worker, hdr.Arity, fr.Arity)
+			}
+		case wire.KindBlock:
+			tuples = append(tuples, fr.Tuples...)
+		case wire.KindMarker:
+			p := fr.RootDone
+			if p < progress {
+				return fmt.Errorf("cluster: worker %s: marker regresses progress (%d after %d)", worker, p, progress)
+			}
+			progress = p
+			if onChunk(tuples, p) {
+				return errShed
+			}
+			tuples = nil
+		case wire.KindTrailer:
+			tr := fr.Trailer
+			if tr.Error != "" {
+				return fmt.Errorf("cluster: worker %s: stream error: %s", worker, tr.Error)
+			}
+			if !tr.Done {
+				return fmt.Errorf("cluster: worker %s: trailer without done", worker)
+			}
+			if tr.RootDone < progress {
+				return fmt.Errorf("cluster: worker %s: trailer regresses progress", worker)
+			}
+			onChunk(tuples, tr.RootDone)
+			// Drain the framing tail to EOF (watchdog re-armed to bound it)
+			// so the transport can reuse this connection for the worker's
+			// next call instead of dialing fresh every range.
+			watchdog.Reset(sc.stall)
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			return nil
+		}
+		watchdog.Reset(sc.stall)
+	}
+}
+
+// runNDJSON walks a text scatter stream, decoding answer lines to tuples.
+func (sc *scatterClient) runNDJSON(resp *http.Response, worker string, req *ScatterRequest, expectRootLen int, watchdog *time.Timer, onChunk func([]database.Tuple, int) bool) error {
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
 
 	var (
-		lines      [][]byte
+		tuples     []database.Tuple
 		progress   = req.RootLo
 		headerSeen bool
 	)
@@ -160,12 +269,11 @@ func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *S
 		watchdog.Stop()
 		raw := scanner.Bytes()
 		if len(raw) > 0 && raw[0] == '[' {
-			// Answer line: copy out of the scanner's buffer, keep the
-			// newline NDJSON framing.
-			line := make([]byte, 0, len(raw)+1)
-			line = append(line, raw...)
-			line = append(line, '\n')
-			lines = append(lines, line)
+			t, err := wire.ParseTupleNDJSON(raw)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %s: malformed answer line %q: %v", worker, raw, err)
+			}
+			tuples = append(tuples, t)
 			watchdog.Reset(sc.stall)
 			continue
 		}
@@ -195,7 +303,7 @@ func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *S
 			if ctl.RootDone == nil || *ctl.RootDone < progress {
 				return fmt.Errorf("cluster: worker %s: trailer regresses progress", worker)
 			}
-			onChunk(lines, *ctl.RootDone)
+			onChunk(tuples, *ctl.RootDone)
 			// The trailer is the stream's last line; drain the framing tail
 			// to EOF (watchdog re-armed to bound it) so the transport can
 			// reuse this connection for the worker's next call instead of
@@ -212,17 +320,14 @@ func (sc *scatterClient) run(ctx context.Context, worker, dataset string, req *S
 				return fmt.Errorf("cluster: worker %s: marker regresses progress (%d after %d)", worker, p, progress)
 			}
 			progress = p
-			if onChunk(lines, p) {
+			if onChunk(tuples, p) {
 				return errShed
 			}
-			lines = nil
+			tuples = nil
 		default:
 			return fmt.Errorf("cluster: worker %s: unrecognized stream line %q", worker, raw)
 		}
 		watchdog.Reset(sc.stall)
-	}
-	if stalled.Load() {
-		return fmt.Errorf("cluster: worker %s: stalled (no stream progress for %s)", worker, sc.stall)
 	}
 	if err := scanner.Err(); err != nil {
 		return fmt.Errorf("cluster: worker %s: reading stream: %v", worker, err)

@@ -104,9 +104,13 @@ func (r *ScatterRequest) Encode() []byte {
 // on every call and fails the query on divergence rather than merging
 // streams from inconsistent replicas.
 type ScatterHeader struct {
-	Header         bool   `json:"header"`
-	Scatterable    bool   `json:"scatterable"`
-	RootLen        int    `json:"root_len"`
+	Header      bool `json:"header"`
+	Scatterable bool `json:"scatterable"`
+	RootLen     int  `json:"root_len"`
+	// Arity is the answer tuple width; the binary stream encoding needs it
+	// up front (the columnar blocks have no per-row framing), and text
+	// clients can ignore it.
+	Arity          int    `json:"arity"`
 	Mode           string `json:"mode"`
 	Cache          string `json:"cache"`
 	Bind           string `json:"bind"`
@@ -140,6 +144,7 @@ type controlLine struct {
 	Header         bool   `json:"header"`
 	Scatterable    bool   `json:"scatterable"`
 	RootLen        int    `json:"root_len"`
+	Arity          int    `json:"arity"`
 	Mode           string `json:"mode"`
 	Cache          string `json:"cache"`
 	Bind           string `json:"bind"`
@@ -157,6 +162,7 @@ func (c *controlLine) header() *ScatterHeader {
 		Header:         c.Header,
 		Scatterable:    c.Scatterable,
 		RootLen:        c.RootLen,
+		Arity:          c.Arity,
 		Mode:           c.Mode,
 		Cache:          c.Cache,
 		Bind:           c.Bind,

@@ -1,0 +1,105 @@
+package cluster_test
+
+// Scatter-hop encoding coverage: the coordinator asks its workers for the
+// binary columnar frames regardless of what the client negotiated, and
+// re-frames the merged stream in the client's encoding. Both directions
+// are asserted here — worker-side /stats wire counters prove the hop ran
+// binary, and the client sees its own Accept honored.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	ucq "repro"
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// workerWireStats fetches one worker's /stats wire section.
+func workerWireStats(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Wire map[string]int64 `json:"wire"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats.Wire
+}
+
+// TestScatterHopBinary: a dataset query through the coordinator — client
+// on either encoding — must reach the workers as binary scatter streams,
+// and the client must get back its negotiated encoding with the exact
+// single-node answer set.
+func TestScatterHopBinary(t *testing.T) {
+	rels := clusterRelations(120, 12, 4)
+	tc := bootCluster(t, 3, cluster.Config{MarkerEvery: 16}, nil)
+	tc.putDataset(t, "join", rels)
+	want := referenceAnswers(t, fullJoin, rels)
+	total := 0
+	for _, n := range want {
+		total += n
+	}
+
+	for _, accept := range []string{wire.MediaTypeNDJSON, wire.MediaTypeBinary} {
+		body, _ := json.Marshal(map[string]any{"query": fullJoin})
+		req, err := http.NewRequest(http.MethodPost, tc.coordURL+"/datasets/join/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("Accept %q: status %d", accept, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, accept) {
+			resp.Body.Close()
+			t.Fatalf("Accept %q: coordinator answered Content-Type %q", accept, ct)
+		}
+		got := map[string]int{}
+		tr, err := ucq.DecodeAnswerStream(resp.Body, resp.Header.Get("Content-Type"), func(tup ucq.Tuple) bool {
+			got[string(ucq.AppendTupleJSON(nil, tup))]++
+			return true
+		})
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("Accept %q: decoding merged stream: %v", accept, err)
+		}
+		if tr == nil || !tr.Done {
+			t.Fatalf("Accept %q: stream ended without a done trailer (%+v)", accept, tr)
+		}
+		if tr.Count != total {
+			t.Fatalf("Accept %q: trailer count = %d, want %d", accept, tr.Count, total)
+		}
+		diffMultisets(t, got, want)
+	}
+
+	// Every worker served its scatter ranges in binary; the only NDJSON
+	// the workers ever see is the probe, which ends before the stream
+	// accounting starts.
+	var binary, ndjson int64
+	for _, w := range tc.workers {
+		ws := workerWireStats(t, w)
+		binary += ws["binary_requests"]
+		ndjson += ws["ndjson_requests"]
+	}
+	if binary == 0 {
+		t.Fatalf("no worker recorded a binary scatter stream (ndjson=%d)", ndjson)
+	}
+	if ndjson != 0 {
+		t.Errorf("workers recorded %d ndjson streams; the scatter hop should always negotiate binary", ndjson)
+	}
+}

@@ -134,7 +134,10 @@ func (s *Server) proxyCount(w http.ResponseWriter, r *http.Request, name, query,
 }
 
 // handleClusterDatasetQuery scatters a dataset query across the workers
-// and streams the merged NDJSON answers.
+// and streams the merged answers in the client's negotiated encoding.
+// The scatter hop already decoded worker streams to tuples, so re-framing
+// here is a straight encode — a binary-speaking client never pays for a
+// text round trip through the coordinator.
 func (s *Server) handleClusterDatasetQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	name := r.PathValue("name")
@@ -156,6 +159,12 @@ func (s *Server) handleClusterDatasetQuery(w http.ResponseWriter, r *http.Reques
 		s.proxyCount(w, r, name, req.Query, mode)
 		return
 	}
+	// The merged stream holds worker connections and buffers for its whole
+	// life: it is exactly the resource the admission gate meters.
+	if !s.admitStream(w, r) {
+		return
+	}
+	defer s.admission.release()
 
 	stream, err := s.cluster.Query(r.Context(), cluster.QuerySpec{Dataset: name, Query: req.Query, Mode: mode})
 	if err != nil {
@@ -169,7 +178,13 @@ func (s *Server) handleClusterDatasetQuery(w http.ResponseWriter, r *http.Reques
 	defer stream.Close()
 
 	hdr := stream.Header
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	media := negotiateEncoding(r.Header.Get("Accept"))
+	enc, err := newAnswerEncoder(w, media, hdr.Arity)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Ucq-Mode", hdr.Mode)
 	w.Header().Set("X-Ucq-Cache", hdr.Cache)
 	w.Header().Set("X-Ucq-Bind", hdr.Bind)
@@ -177,7 +192,6 @@ func (s *Server) handleClusterDatasetQuery(w http.ResponseWriter, r *http.Reques
 	w.Header().Set("X-Ucq-Scatter", hdr.Scatter)
 	w.Header().Set("X-Ucq-Workers", fmt.Sprint(hdr.Workers))
 	w.WriteHeader(http.StatusOK)
-	flusher, canFlush := w.(http.Flusher)
 
 	start := time.Now()
 	prev := start
@@ -194,8 +208,8 @@ drain:
 			maxDelay = d
 		}
 		prev = now
-		for _, line := range chunk.Lines {
-			if _, err := w.Write(line); err != nil {
+		for _, t := range chunk.Tuples {
+			if err := enc.appendTuple(t); err != nil {
 				disconnected = true
 				break drain
 			}
@@ -206,8 +220,9 @@ drain:
 				break drain
 			}
 		}
-		if canFlush {
-			flusher.Flush()
+		if err := enc.flush(); err != nil {
+			disconnected = true
+			break
 		}
 	}
 	if count == 0 {
@@ -215,18 +230,20 @@ drain:
 	}
 	s.stats.answersStreamed.Add(int64(count))
 	s.stats.RecordTiming(firstAnswer, maxDelay)
+	defer func() { s.stats.recordWire(media, count, enc.bytesOut()) }()
 	if disconnected || r.Context().Err() != nil {
 		s.stats.requestsCancelled.Add(1)
 		return
 	}
 	if err := stream.Err(); err != nil && !limited {
 		// The merge failed mid-stream: no trailer — the stream is visibly
-		// truncated — but say why with a terminal error object.
+		// truncated — but say why with a terminal error record.
 		s.stats.errors.Add(1)
-		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+		_ = enc.streamError(err.Error())
+		_ = enc.flush()
 		return
 	}
-	_ = json.NewEncoder(w).Encode(Trailer{
+	_ = enc.trailer(Trailer{
 		Done:           true,
 		Count:          count,
 		Mode:           hdr.Mode,
@@ -237,9 +254,7 @@ drain:
 		Scatter:        hdr.Scatter,
 		Workers:        hdr.Workers,
 	})
-	if canFlush {
-		flusher.Flush()
-	}
+	_ = enc.flush()
 	s.stats.streamsCompleted.Add(1)
 }
 

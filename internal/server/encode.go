@@ -1,0 +1,262 @@
+package server
+
+// Answer-stream encoding: the pluggable seam between the enumeration loops
+// (stream, the scatter handler, the coordinator's merged stream) and the
+// bytes on the socket. Two encodings exist — NDJSON text and the
+// internal/wire binary columnar frames — negotiated per request via the
+// Accept header, and every stream writes through a sized buffered writer
+// flushed at the FlushEvery cadence instead of one syscall per answer.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/database"
+	"repro/internal/wire"
+)
+
+// streamBufSize is the per-stream write buffer. Answers accumulate here
+// between FlushEvery boundaries; one buffer flush replaces hundreds of
+// per-row writes.
+const streamBufSize = 32 << 10
+
+// negotiateEncoding picks the answer encoding from an Accept header. The
+// binary encoding must be named exactly and with the highest q-value to
+// win; wildcards, unknown media types, ties and absent headers all resolve
+// to NDJSON, so every pre-existing client keeps its text stream.
+func negotiateEncoding(accept string) string {
+	if accept == "" {
+		return wire.MediaTypeNDJSON
+	}
+	binQ, textQ := -1.0, -1.0
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		media := strings.ToLower(strings.TrimSpace(fields[0]))
+		q := 1.0
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			if v, ok := strings.CutPrefix(f, "q="); ok {
+				parsed, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil || parsed < 0 || parsed > 1 {
+					q = -1 // malformed entry: ignore it
+				} else {
+					q = parsed
+				}
+			}
+		}
+		if q < 0 {
+			continue
+		}
+		switch media {
+		case wire.MediaTypeBinary:
+			if q > binQ {
+				binQ = q
+			}
+		case wire.MediaTypeNDJSON, "*/*", "application/*":
+			if q > textQ {
+				textQ = q
+			}
+		}
+	}
+	if binQ > 0 && binQ > textQ {
+		return wire.MediaTypeBinary
+	}
+	return wire.MediaTypeNDJSON
+}
+
+// countingWriter counts the bytes that actually leave for the socket —
+// it sits under the stream buffer, so only flushed bytes count.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// answerEncoder is the one loop both encodings share: the enumeration
+// paths call appendTuple per answer and flush at FlushEvery boundaries,
+// and never branch on the wire format. Methods after the first write
+// return the latched write error, which the loops treat as a client
+// disconnect.
+type answerEncoder interface {
+	contentType() string
+	// scatterHeader opens a scatter stream (worker side): the NDJSON header
+	// line, or the binary header frame with the ScatterHeader as metadata.
+	scatterHeader(h *cluster.ScatterHeader) error
+	appendTuple(t database.Tuple) error
+	// marker emits a scatter progress checkpoint.
+	marker(rootDone int) error
+	trailer(tr Trailer) error
+	scatterTrailer(tr cluster.ScatterTrailer) error
+	// streamError terminates a stream that failed without a server-side
+	// count to report (the coordinator's merge failure): an error object on
+	// NDJSON, an error trailer frame on binary. Either way the stream is
+	// visibly incomplete.
+	streamError(msg string) error
+	flush() error
+	// bytesOut is the bytes written to the socket so far; exact after the
+	// final flush.
+	bytesOut() int64
+}
+
+// newAnswerEncoder builds the encoder for one response. arity is the
+// answer tuple width (binary streams declare it in their header frame).
+func newAnswerEncoder(w http.ResponseWriter, media string, arity int) (answerEncoder, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, streamBufSize)
+	fl, _ := w.(http.Flusher)
+	if media == wire.MediaTypeBinary {
+		enc, err := wire.NewEncoder(bw, arity)
+		if err != nil {
+			return nil, err
+		}
+		return &binaryEncoder{enc: enc, bw: bw, cw: cw, fl: fl}, nil
+	}
+	return &ndjsonEncoder{bw: bw, cw: cw, fl: fl, buf: make([]byte, 0, 256)}, nil
+}
+
+// ndjsonEncoder is the text protocol: answers as JSON array lines, control
+// records as JSON object lines.
+type ndjsonEncoder struct {
+	bw  *bufio.Writer
+	cw  *countingWriter
+	fl  http.Flusher
+	buf []byte
+}
+
+func (e *ndjsonEncoder) contentType() string { return wire.MediaTypeNDJSON }
+
+func (e *ndjsonEncoder) writeJSONLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := e.bw.Write(b); err != nil {
+		return err
+	}
+	return e.bw.WriteByte('\n')
+}
+
+func (e *ndjsonEncoder) scatterHeader(h *cluster.ScatterHeader) error {
+	return e.writeJSONLine(h)
+}
+
+func (e *ndjsonEncoder) appendTuple(t database.Tuple) error {
+	e.buf = wire.AppendTupleNDJSON(e.buf[:0], t)
+	e.buf = append(e.buf, '\n')
+	_, err := e.bw.Write(e.buf)
+	return err
+}
+
+func (e *ndjsonEncoder) marker(rootDone int) error {
+	return e.writeJSONLine(cluster.ScatterMarker{RootDone: rootDone})
+}
+
+func (e *ndjsonEncoder) trailer(tr Trailer) error {
+	return e.writeJSONLine(tr)
+}
+
+func (e *ndjsonEncoder) scatterTrailer(tr cluster.ScatterTrailer) error {
+	return e.writeJSONLine(tr)
+}
+
+func (e *ndjsonEncoder) streamError(msg string) error {
+	return e.writeJSONLine(ErrorResponse{Error: msg})
+}
+
+func (e *ndjsonEncoder) flush() error {
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	if e.fl != nil {
+		e.fl.Flush()
+	}
+	return nil
+}
+
+func (e *ndjsonEncoder) bytesOut() int64 { return e.cw.n }
+
+// binaryEncoder wraps the internal/wire columnar frame encoder.
+type binaryEncoder struct {
+	enc *wire.Encoder
+	bw  *bufio.Writer
+	cw  *countingWriter
+	fl  http.Flusher
+}
+
+func (e *binaryEncoder) contentType() string { return wire.MediaTypeBinary }
+
+func (e *binaryEncoder) scatterHeader(h *cluster.ScatterHeader) error {
+	if err := e.enc.SetMeta(h); err != nil {
+		return err
+	}
+	// The coordinator reads the handshake (scatterable? which version?)
+	// before any answers exist, so the header frame goes out now, not
+	// lazily at the first block.
+	return e.enc.WriteHeader()
+}
+
+func (e *binaryEncoder) appendTuple(t database.Tuple) error {
+	return e.enc.Append(t)
+}
+
+func (e *binaryEncoder) marker(rootDone int) error {
+	return e.enc.Marker(rootDone)
+}
+
+// wireTrailer maps the HTTP trailer onto the frame payload shape.
+func wireTrailer(tr Trailer) wire.Trailer {
+	return wire.Trailer{
+		Done:           tr.Done,
+		Count:          tr.Count,
+		Mode:           tr.Mode,
+		Cache:          tr.Cache,
+		Dataset:        tr.Dataset,
+		DatasetVersion: tr.DatasetVersion,
+		Bind:           tr.Bind,
+		Scatter:        tr.Scatter,
+		Workers:        tr.Workers,
+		Error:          tr.Error,
+	}
+}
+
+func (e *binaryEncoder) trailer(tr Trailer) error {
+	return e.enc.Trailer(wireTrailer(tr))
+}
+
+func (e *binaryEncoder) scatterTrailer(tr cluster.ScatterTrailer) error {
+	return e.enc.Trailer(wire.Trailer{
+		Done:     tr.Done,
+		Count:    tr.Count,
+		RootDone: tr.RootDone,
+		Error:    tr.Error,
+	})
+}
+
+func (e *binaryEncoder) streamError(msg string) error {
+	return e.enc.Trailer(wire.Trailer{Error: msg})
+}
+
+func (e *binaryEncoder) flush() error {
+	if err := e.enc.FlushBlock(); err != nil {
+		return err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	if e.fl != nil {
+		e.fl.Flush()
+	}
+	return nil
+}
+
+func (e *binaryEncoder) bytesOut() int64 { return e.cw.n }

@@ -9,9 +9,14 @@ package server
 // answer the "is this plan scatterable, and how big is its root domain?"
 // question without enumerating. The endpoint exists on every server —
 // single-node deployments simply never call it.
+//
+// The stream encoding is negotiated like every other answer stream:
+// coordinators ask for the binary columnar frames (the ScatterHeader rides
+// as the header frame's metadata, markers and the trailer as their own
+// frame kinds), and clients without an Accept preference get the original
+// NDJSON lines.
 
 import (
-	"encoding/json"
 	"io"
 	"net/http"
 
@@ -33,6 +38,15 @@ func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Probes answer from the plan header without enumerating — they hold
+	// no streaming resources, so they bypass admission (a coordinator must
+	// be able to size up a query even while the worker is saturated).
+	if !req.Probe {
+		if !s.admitStream(w, r) {
+			return
+		}
+		defer s.admission.release()
 	}
 	u, err := ucq.Parse(req.Query)
 	if err != nil {
@@ -85,6 +99,7 @@ func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
 		Header:         true,
 		Scatterable:    scatterable,
 		RootLen:        rootLen,
+		Arity:          plan.Query.Arity(),
 		Mode:           plan.Mode.String(),
 		Cache:          cacheState(hit),
 		Bind:           cacheState(plan.BindCacheHit()),
@@ -92,15 +107,17 @@ func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
 		DatasetVersion: plan.DatasetVersion(),
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	media := negotiateEncoding(r.Header.Get("Accept"))
+	enc, err := newAnswerEncoder(w, media, hdr.Arity)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
 	w.WriteHeader(http.StatusOK)
-	flusher, canFlush := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(hdr)
-	if canFlush {
-		flusher.Flush()
-	}
+	_ = enc.scatterHeader(&hdr)
+	_ = enc.flush()
 	if req.Probe || !scatterable {
 		// A probe never enumerates; a non-scatterable non-probe ends here
 		// too — the coordinator reads scatterable=false off the header and
@@ -125,7 +142,6 @@ func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
 		markerEvery = cluster.DefaultMarkerEvery
 	}
 
-	buf := make([]byte, 0, 256)
 	count, sinceMarker := 0, 0
 	prevPos := -1
 	cancelled := false
@@ -144,33 +160,37 @@ func (s *Server) handleDatasetScatter(w http.ResponseWriter, r *http.Request) {
 		// ascending root order, is exactly true when this answer is the
 		// first of its root row.
 		if count > 0 && pos > prevPos && sinceMarker >= markerEvery {
-			_ = enc.Encode(cluster.ScatterMarker{RootDone: pos})
-			if canFlush {
-				flusher.Flush()
+			if err := enc.marker(pos); err != nil {
+				cancelled = true
+				break
+			}
+			if err := enc.flush(); err != nil {
+				cancelled = true
+				break
 			}
 			sinceMarker = 0
 		}
 		prevPos = pos
-		buf = ucq.AppendTupleJSON(buf[:0], t)
-		buf = append(buf, '\n')
-		if _, err := w.Write(buf); err != nil {
+		if err := enc.appendTuple(t); err != nil {
 			cancelled = true
 			break
 		}
 		count++
 		sinceMarker++
-		if canFlush && (count == 1 || count%s.cfg.FlushEvery == 0) {
-			flusher.Flush()
+		if count == 1 || count%s.cfg.FlushEvery == 0 {
+			if err := enc.flush(); err != nil {
+				cancelled = true
+				break
+			}
 		}
 	}
 	s.stats.answersStreamed.Add(int64(count))
+	defer func() { s.stats.recordWire(media, count, enc.bytesOut()) }()
 	if cancelled || r.Context().Err() != nil {
 		s.stats.requestsCancelled.Add(1)
 		return
 	}
-	_ = enc.Encode(cluster.ScatterTrailer{Done: true, Count: count, RootDone: hi})
-	if canFlush {
-		flusher.Flush()
-	}
+	_ = enc.scatterTrailer(cluster.ScatterTrailer{Done: true, Count: count, RootDone: hi})
+	_ = enc.flush()
 	s.stats.streamsCompleted.Add(1)
 }

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -67,6 +68,16 @@ type Config struct {
 	SpillBudget int64
 	// SpillDir hosts the spill tables ("" = the OS temp directory).
 	SpillDir string
+	// MaxStreams caps the concurrent answer-streaming requests (inline
+	// queries, dataset queries, merged cluster streams and non-probe
+	// scatter calls; count-only requests are not gated). 0 =
+	// 2*GOMAXPROCS — streaming enumeration is CPU-bound, so slots beyond
+	// that only add queueing inside the process.
+	MaxStreams int
+	// QueueDeadline is how long a streaming request may wait for a slot
+	// before it is shed with 429 + Retry-After (0 =
+	// DefaultQueueDeadline).
+	QueueDeadline time.Duration
 	// Cluster configures coordinator mode (NewCoordinator only): the
 	// static worker list plus scatter tuning. Ignored by New.
 	Cluster cluster.Config
@@ -77,6 +88,9 @@ const (
 	DefaultCacheSize    = 128
 	DefaultFlushEvery   = 256
 	DefaultMaxBodyBytes = 64 << 20
+	// DefaultQueueDeadline is the longest a streaming request waits for an
+	// admission slot before being shed.
+	DefaultQueueDeadline = time.Second
 )
 
 // Server is the streaming UCQ evaluation service. Create with New; the
@@ -96,6 +110,9 @@ type Server struct {
 	// the catalog journals through it and /stats surfaces its gauges.
 	store *storage.Store
 
+	// admission gates concurrent streaming requests (see admission.go).
+	admission *admission
+
 	// dsMu guards dsQueries, the per-dataset query counters surfaced as
 	// /stats gauges.
 	dsMu      sync.Mutex
@@ -113,8 +130,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDeadline <= 0 {
+		cfg.QueueDeadline = DefaultQueueDeadline
+	}
 	return &Server{
-		cache: NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
+		admission: newAdmission(cfg.MaxStreams, cfg.QueueDeadline),
+		cache:     NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
 		catalog: ucq.NewCatalogConfig(ucq.CatalogConfig{
 			BindCacheSize: cfg.BindCacheSize,
 			BindCacheTTL:  cfg.BindCacheTTL,
@@ -254,6 +278,18 @@ func (s *Server) StatsSnapshotContext(ctx context.Context) Snapshot {
 		Datasets:        gauges,
 		Delays:          s.stats.delays(),
 		ScatterRequests: s.stats.scatterRequests.Load(),
+		Wire: WireSnapshot{
+			NDJSONRequests: s.stats.ndjsonRequests.Load(),
+			BinaryRequests: s.stats.binaryRequests.Load(),
+			NDJSONRows:     s.stats.ndjsonRows.Load(),
+			BinaryRows:     s.stats.binaryRows.Load(),
+			NDJSONBytes:    s.stats.ndjsonBytes.Load(),
+			BinaryBytes:    s.stats.binaryBytes.Load(),
+			StreamsActive:  s.admission.active.Load(),
+			StreamsQueued:  s.admission.queued.Load(),
+			StreamsShed:    s.admission.shed.Load(),
+			MaxStreams:     s.cfg.MaxStreams,
+		},
 	}
 	if s.cluster != nil {
 		snap.Cluster = s.clusterSnapshot(ctx)
@@ -510,19 +546,33 @@ type streamMeta struct {
 	dsVersion uint64
 }
 
-// stream drains the plan's iterator into the response as NDJSON. The first
-// answer is flushed immediately — on certified plans it reaches the client
-// while enumeration of the remaining answers is still running — and later
-// answers are flushed every cfg.FlushEvery lines. The final line is a
-// Trailer object.
+// stream drains the plan's iterator into the response in the encoding the
+// request's Accept header negotiated — NDJSON lines or binary columnar
+// frames, one shared loop either way. The first answer is flushed
+// immediately — on certified plans it reaches the client while enumeration
+// of the remaining answers is still running — and later answers are
+// flushed every cfg.FlushEvery answers through the stream's buffered
+// writer. The stream ends with a Trailer (object or frame).
 //
-// The enumeration runs under the request context: when the client
-// disconnects mid-stream (or the server shuts down), the context cancels
-// the work-stealing executor behind a parallel plan and every worker is
-// released within one batch; the request is then counted as cancelled and
-// no trailer is written.
+// The stream holds an admission slot for its whole life; overload sheds
+// here with 429 instead of stacking enumerations. The enumeration runs
+// under the request context: when the client disconnects mid-stream (or
+// the server shuts down), the context cancels the work-stealing executor
+// behind a parallel plan and every worker is released within one batch;
+// the request is then counted as cancelled and no trailer is written.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, meta streamMeta, limit int) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	if !s.admitStream(w, r) {
+		return
+	}
+	defer s.admission.release()
+
+	media := negotiateEncoding(r.Header.Get("Accept"))
+	enc, err := newAnswerEncoder(w, media, plan.Query.Arity())
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Ucq-Mode", plan.Mode.String())
 	w.Header().Set("X-Ucq-Cache", meta.cache)
 	if meta.bind != "" {
@@ -530,7 +580,6 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 		w.Header().Set("X-Ucq-Dataset-Version", fmt.Sprint(meta.dsVersion))
 	}
 	w.WriteHeader(http.StatusOK)
-	flusher, canFlush := w.(http.Flusher)
 
 	it := plan.AnswersContext(r.Context())
 	defer ucq.CloseAnswers(it)
@@ -538,7 +587,6 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 	start := time.Now()
 	prev := start
 	var firstAnswer, maxDelay time.Duration
-	buf := make([]byte, 0, 256)
 	count := 0
 	disconnected := false
 	for {
@@ -560,17 +608,18 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 			maxDelay = d
 		}
 		prev = now
-		buf = ucq.AppendTupleJSON(buf[:0], t)
-		buf = append(buf, '\n')
-		if _, err := w.Write(buf); err != nil {
+		if err := enc.appendTuple(t); err != nil {
 			// Client went away; stop enumerating, but keep the counters
 			// honest about the answers that already left the socket.
 			disconnected = true
 			break
 		}
 		count++
-		if canFlush && (count == 1 || count%s.cfg.FlushEvery == 0) {
-			flusher.Flush()
+		if count == 1 || count%s.cfg.FlushEvery == 0 {
+			if err := enc.flush(); err != nil {
+				disconnected = true
+				break
+			}
 		}
 		if limit > 0 && count >= limit {
 			break
@@ -582,6 +631,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 
 	s.stats.answersStreamed.Add(int64(count))
 	s.stats.RecordTiming(firstAnswer, maxDelay)
+	defer func() { s.stats.recordWire(media, count, enc.bytesOut()) }()
 	if disconnected || r.Context().Err() != nil {
 		s.stats.requestsCancelled.Add(1)
 		return
@@ -592,7 +642,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 		// is long gone, so honesty lives in the trailer — done stays false
 		// and the error rides along instead.
 		s.stats.errors.Add(1)
-		_ = json.NewEncoder(w).Encode(Trailer{
+		_ = enc.trailer(Trailer{
 			Count:          count,
 			Mode:           plan.Mode.String(),
 			Cache:          meta.cache,
@@ -601,12 +651,10 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 			Bind:           meta.bind,
 			Error:          fmt.Sprintf("enumeration failed after %d answers: %v", count, err),
 		})
-		if canFlush {
-			flusher.Flush()
-		}
+		_ = enc.flush()
 		return
 	}
-	_ = json.NewEncoder(w).Encode(Trailer{
+	_ = enc.trailer(Trailer{
 		Done:           true,
 		Count:          count,
 		Mode:           plan.Mode.String(),
@@ -615,8 +663,6 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, plan *ucq.Plan, 
 		DatasetVersion: meta.dsVersion,
 		Bind:           meta.bind,
 	})
-	if canFlush {
-		flusher.Flush()
-	}
+	_ = enc.flush()
 	s.stats.streamsCompleted.Add(1)
 }

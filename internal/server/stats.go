@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/wire"
 )
 
 // delayWindow is how many recent requests contribute to the /stats delay
@@ -40,6 +41,15 @@ type Stats struct {
 	// version guard). Zero on single-node deployments.
 	scatterRequests atomic.Int64
 
+	// Wire counters, by negotiated answer encoding: completed-or-cancelled
+	// streaming responses, answer rows and socket bytes.
+	ndjsonRequests atomic.Int64
+	binaryRequests atomic.Int64
+	ndjsonRows     atomic.Int64
+	binaryRows     atomic.Int64
+	ndjsonBytes    atomic.Int64
+	binaryBytes    atomic.Int64
+
 	// Auto-bind decision counters, by resolved strategy. A shifting mix —
 	// e.g. sharded picks collapsing to sequential after a data change — is
 	// the observable trace of a planner regression.
@@ -51,6 +61,20 @@ type Stats struct {
 	ring [delayWindow]reqTiming
 	next int
 	n    int
+}
+
+// recordWire counts one finished streaming response under its negotiated
+// encoding.
+func (s *Stats) recordWire(media string, rows int, bytes int64) {
+	if media == wire.MediaTypeBinary {
+		s.binaryRequests.Add(1)
+		s.binaryRows.Add(int64(rows))
+		s.binaryBytes.Add(bytes)
+		return
+	}
+	s.ndjsonRequests.Add(1)
+	s.ndjsonRows.Add(int64(rows))
+	s.ndjsonBytes.Add(bytes)
 }
 
 // RecordTiming appends one request's delay summary to the window.
@@ -104,6 +128,9 @@ type Snapshot struct {
 	// omitted on single-node deployments, keeping their /stats body
 	// byte-identical.
 	ScatterRequests int64 `json:"scatter_requests,omitempty"`
+	// Wire breaks streaming traffic down by negotiated answer encoding and
+	// surfaces the admission gate's gauges.
+	Wire WireSnapshot `json:"wire"`
 	// Cluster is the coordinator's view of its workers; nil outside
 	// coordinator mode.
 	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
@@ -111,6 +138,28 @@ type Snapshot struct {
 	// was opened with a data directory or runs with a spill budget,
 	// keeping the plain in-memory /stats body byte-identical.
 	Storage *StorageSnapshot `json:"storage,omitempty"`
+}
+
+// WireSnapshot is the wire section of GET /stats: per-encoding traffic
+// counters plus the streaming admission gate.
+type WireSnapshot struct {
+	// NDJSONRequests/BinaryRequests count finished streaming responses by
+	// negotiated encoding; rows and bytes are the answers and socket bytes
+	// they carried (bytes measured under the stream buffer, so they are
+	// what actually left the process).
+	NDJSONRequests int64 `json:"ndjson_requests"`
+	BinaryRequests int64 `json:"binary_requests"`
+	NDJSONRows     int64 `json:"ndjson_rows"`
+	BinaryRows     int64 `json:"binary_rows"`
+	NDJSONBytes    int64 `json:"ndjson_bytes"`
+	BinaryBytes    int64 `json:"binary_bytes"`
+	// StreamsActive/StreamsQueued gauge the admission semaphore;
+	// StreamsShed counts requests rejected with 429 at the queue deadline.
+	StreamsActive int64 `json:"streams_active"`
+	StreamsQueued int64 `json:"streams_queued"`
+	StreamsShed   int64 `json:"streams_shed"`
+	// MaxStreams is the configured concurrency cap.
+	MaxStreams int `json:"max_streams"`
 }
 
 // StorageSnapshot is the storage section of GET /stats: the durable

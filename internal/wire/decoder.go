@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/database"
+)
+
+// Frame is one decoded frame. Kind selects which fields are meaningful:
+// header frames carry Arity and Meta, block frames carry Tuples, marker
+// frames carry RootDone, trailer frames carry Trailer. Tuples and Meta are
+// freshly allocated per frame and safe to retain.
+type Frame struct {
+	Kind     Kind
+	Arity    int
+	Meta     json.RawMessage
+	Tuples   []database.Tuple
+	RootDone int
+	Trailer  *Trailer
+}
+
+// Decoder reads a binary answer stream. Next returns frames in order,
+// enforcing the format's structural rules: the first frame must be the
+// header, exactly one header per stream, block widths must match the
+// declared arity. A clean end-of-stream between frames is io.EOF; a
+// truncated frame is io.ErrUnexpectedEOF; anything structurally wrong
+// wraps ErrFormat. Decoders are not safe for concurrent use.
+type Decoder struct {
+	r          io.Reader
+	arity      int
+	headerSeen bool
+	trailer    bool
+	hdr        [frameHeaderLen]byte
+	payload    []byte
+	err        error
+}
+
+// NewDecoder returns a decoder reading from r. r should be buffered by the
+// caller if reads are expensive; the decoder issues two reads per frame.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r}
+}
+
+// Arity returns the stream arity, valid once the header frame has been
+// decoded (-1 before).
+func (d *Decoder) Arity() int {
+	if !d.headerSeen {
+		return -1
+	}
+	return d.arity
+}
+
+// Next decodes and returns the next frame. After the trailer frame it
+// returns io.EOF; it also returns io.EOF at a clean underlying EOF before
+// the trailer, so callers distinguish complete from truncated streams by
+// whether a trailer frame was seen.
+func (d *Decoder) Next() (*Frame, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.trailer {
+		d.err = io.EOF
+		return nil, d.err
+	}
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			d.err = io.EOF
+		} else {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil, d.err
+	}
+	if got := binary.LittleEndian.Uint32(d.hdr[0:]); got != frameMagic {
+		return nil, d.fail("bad magic 0x%08x", got)
+	}
+	kind := Kind(d.hdr[4])
+	length := binary.LittleEndian.Uint32(d.hdr[5:])
+	wantCRC := binary.LittleEndian.Uint32(d.hdr[9:])
+	if length > MaxFramePayload {
+		return nil, d.fail("frame payload %d exceeds limit", length)
+	}
+	if uint32(cap(d.payload)) < length {
+		d.payload = make([]byte, length)
+	}
+	p := d.payload[:length]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = io.ErrUnexpectedEOF
+		return nil, d.err
+	}
+	if got := checksum(p); got != wantCRC {
+		return nil, d.fail("payload checksum 0x%08x, want 0x%08x", got, wantCRC)
+	}
+	if kind != KindHeader && !d.headerSeen {
+		return nil, d.fail("frame kind %d before header", kind)
+	}
+	switch kind {
+	case KindHeader:
+		return d.decodeHeader(p)
+	case KindBlock:
+		return d.decodeBlock(p)
+	case KindMarker:
+		return d.decodeMarker(p)
+	case KindTrailer:
+		return d.decodeTrailer(p)
+	default:
+		return nil, d.fail("unknown frame kind %d", kind)
+	}
+}
+
+func (d *Decoder) fail(format string, args ...any) error {
+	d.err = fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+	return d.err
+}
+
+func (d *Decoder) decodeHeader(p []byte) (*Frame, error) {
+	if d.headerSeen {
+		return nil, d.fail("duplicate header frame")
+	}
+	if len(p) < 3 {
+		return nil, d.fail("header payload too short")
+	}
+	if p[0] != headerVersion {
+		return nil, d.fail("unsupported format version %d", p[0])
+	}
+	arity := int(binary.LittleEndian.Uint16(p[1:]))
+	if arity > MaxArity {
+		return nil, d.fail("arity %d out of range", arity)
+	}
+	p = p[3:]
+	if len(p) < arity+4 {
+		return nil, d.fail("header payload too short for %d codecs", arity)
+	}
+	for i := 0; i < arity; i++ {
+		if p[i] != codecDeltaVarint {
+			return nil, d.fail("unknown column codec %d", p[i])
+		}
+	}
+	p = p[arity:]
+	metaLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) != metaLen {
+		return nil, d.fail("header meta length %d, have %d bytes", metaLen, len(p))
+	}
+	var meta json.RawMessage
+	if metaLen > 0 {
+		meta = append(json.RawMessage(nil), p...)
+	}
+	d.headerSeen = true
+	d.arity = arity
+	return &Frame{Kind: KindHeader, Arity: arity, Meta: meta}, nil
+}
+
+func (d *Decoder) decodeBlock(p []byte) (*Frame, error) {
+	rows64, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, d.fail("bad block row count")
+	}
+	p = p[n:]
+	if rows64 == 0 || rows64 > MaxBlockRows {
+		return nil, d.fail("block row count %d out of range", rows64)
+	}
+	rows := int(rows64)
+	// One backing array for the whole block keeps the decode to two
+	// allocations regardless of row count.
+	flat := make([]database.Value, rows*d.arity)
+	for c := 0; c < d.arity; c++ {
+		prev := int64(0)
+		for r := 0; r < rows; r++ {
+			u, n := binary.Uvarint(p)
+			if n <= 0 {
+				return nil, d.fail("truncated column %d at row %d", c, r)
+			}
+			p = p[n:]
+			prev += unzigzag(u)
+			flat[r*d.arity+c] = database.Value(prev)
+		}
+	}
+	if len(p) != 0 {
+		return nil, d.fail("%d trailing bytes in block payload", len(p))
+	}
+	tuples := make([]database.Tuple, rows)
+	for r := 0; r < rows; r++ {
+		tuples[r] = database.Tuple(flat[r*d.arity : (r+1)*d.arity : (r+1)*d.arity])
+	}
+	return &Frame{Kind: KindBlock, Arity: d.arity, Tuples: tuples}, nil
+}
+
+func (d *Decoder) decodeMarker(p []byte) (*Frame, error) {
+	u, n := binary.Uvarint(p)
+	if n <= 0 || n != len(p) {
+		return nil, d.fail("bad marker payload")
+	}
+	if u > uint64(int(^uint(0)>>1)) {
+		return nil, d.fail("marker root_done %d out of range", u)
+	}
+	return &Frame{Kind: KindMarker, Arity: d.arity, RootDone: int(u)}, nil
+}
+
+func (d *Decoder) decodeTrailer(p []byte) (*Frame, error) {
+	var tr Trailer
+	if err := json.Unmarshal(p, &tr); err != nil {
+		return nil, d.fail("bad trailer JSON: %v", err)
+	}
+	d.trailer = true
+	return &Frame{Kind: KindTrailer, Arity: d.arity, Trailer: &tr}, nil
+}
+
+// SawTrailer reports whether the stream ended with a trailer frame — the
+// binary protocol's completeness signal, mirroring the NDJSON trailer
+// object.
+func (d *Decoder) SawTrailer() bool { return d.trailer }

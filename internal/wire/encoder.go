@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/database"
+)
+
+// Encoder writes a binary answer stream to w. The header frame is written
+// lazily before the first payload frame, so metadata can be attached after
+// construction; Append buffers tuples column-wise and FlushBlock turns the
+// buffer into one block frame. Callers flush at the same cadence as the
+// NDJSON path (FlushEvery boundaries); the encoder itself only forces a
+// block at MaxBlockRows. Encoders are not safe for concurrent use.
+type Encoder struct {
+	w     io.Writer
+	arity int
+	meta  []byte
+
+	headerDone bool
+	cols       [][]int64
+	rows       int
+	frame      []byte
+	payload    []byte
+	err        error
+}
+
+// NewEncoder returns an encoder for tuples of the given arity.
+func NewEncoder(w io.Writer, arity int) (*Encoder, error) {
+	if arity < 0 || arity > MaxArity {
+		return nil, fmt.Errorf("wire: arity %d out of range", arity)
+	}
+	cols := make([][]int64, arity)
+	return &Encoder{w: w, arity: arity, cols: cols}, nil
+}
+
+// SetMeta attaches a JSON-marshalled metadata object to the header frame —
+// the scatter hop rides its ScatterHeader here. It must be called before
+// the first Append/Marker/Trailer; afterwards the header is on the wire.
+func (e *Encoder) SetMeta(v any) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.headerDone {
+		return fmt.Errorf("wire: SetMeta after header already written")
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal header meta: %w", err)
+	}
+	e.meta = b
+	return nil
+}
+
+// writeHeader emits the header frame once.
+func (e *Encoder) writeHeader() error {
+	if e.headerDone {
+		return nil
+	}
+	p := e.payload[:0]
+	p = append(p, headerVersion)
+	p = binary.LittleEndian.AppendUint16(p, uint16(e.arity))
+	for i := 0; i < e.arity; i++ {
+		p = append(p, codecDeltaVarint)
+	}
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(e.meta)))
+	p = append(p, e.meta...)
+	e.payload = p
+	e.headerDone = true
+	return e.writeFrame(KindHeader, p)
+}
+
+// writeFrame frames and writes one payload, latching the first error.
+func (e *Encoder) writeFrame(kind Kind, payload []byte) error {
+	e.frame = appendFrame(e.frame[:0], kind, payload)
+	if _, err := e.w.Write(e.frame); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// WriteHeader forces the header frame onto the wire immediately. Useful
+// when the stream's consumer needs the header metadata before the first
+// block — the scatter protocol's probe/scatterable handshake reads it
+// before any answers exist. A no-op once the header is out.
+func (e *Encoder) WriteHeader() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.writeHeader()
+}
+
+// Append buffers one answer tuple. The tuple must match the encoder's
+// arity; it is copied, so callers may reuse the slice.
+func (e *Encoder) Append(t database.Tuple) error {
+	if e.err != nil {
+		return e.err
+	}
+	if len(t) != e.arity {
+		return fmt.Errorf("wire: tuple arity %d, encoder arity %d", len(t), e.arity)
+	}
+	for i, v := range t {
+		e.cols[i] = append(e.cols[i], int64(v))
+	}
+	e.rows++
+	if e.rows >= MaxBlockRows {
+		return e.FlushBlock()
+	}
+	return nil
+}
+
+// FlushBlock writes the buffered tuples as one block frame; it is a no-op
+// with nothing buffered. Deltas reset at block boundaries, so any block is
+// decodable without its predecessors.
+func (e *Encoder) FlushBlock() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.rows == 0 {
+		return nil
+	}
+	if err := e.writeHeader(); err != nil {
+		return err
+	}
+	p := e.payload[:0]
+	p = binary.AppendUvarint(p, uint64(e.rows))
+	for c := 0; c < e.arity; c++ {
+		prev := int64(0)
+		for _, v := range e.cols[c] {
+			p = binary.AppendUvarint(p, zigzag(v-prev))
+			prev = v
+		}
+		e.cols[c] = e.cols[c][:0]
+	}
+	e.payload = p
+	e.rows = 0
+	return e.writeFrame(KindBlock, p)
+}
+
+// Marker flushes any buffered block and writes a marker frame carrying the
+// scatter protocol's root_done checkpoint.
+func (e *Encoder) Marker(rootDone int) error {
+	if err := e.FlushBlock(); err != nil {
+		return err
+	}
+	if err := e.writeHeader(); err != nil {
+		return err
+	}
+	if rootDone < 0 {
+		return fmt.Errorf("wire: negative marker root_done %d", rootDone)
+	}
+	p := binary.AppendUvarint(e.payload[:0], uint64(rootDone))
+	e.payload = p
+	return e.writeFrame(KindMarker, p)
+}
+
+// Trailer flushes any buffered block and ends the stream with a trailer
+// frame. The encoder is still usable only for error returns afterwards;
+// callers write exactly one trailer.
+func (e *Encoder) Trailer(tr Trailer) error {
+	if err := e.FlushBlock(); err != nil {
+		return err
+	}
+	if err := e.writeHeader(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("wire: marshal trailer: %w", err)
+	}
+	return e.writeFrame(KindTrailer, b)
+}
+
+// Buffered reports how many appended tuples have not yet been framed.
+func (e *Encoder) Buffered() int { return e.rows }

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// FuzzAnswerFrame throws arbitrary bytes at the frame decoder. The
+// invariants: no panic, no unbounded allocation (the decoder enforces
+// MaxFramePayload/MaxBlockRows before allocating), errors are one of
+// io.EOF / io.ErrUnexpectedEOF / ErrFormat-wrapped, and any stream the
+// decoder fully accepts must re-encode to a stream that decodes to the
+// same tuples, markers and trailer.
+func FuzzAnswerFrame(f *testing.F) {
+	seed := func(build func(e *Encoder)) []byte {
+		var buf bytes.Buffer
+		e, err := NewEncoder(&buf, 2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		build(e)
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(seed(func(e *Encoder) {
+		e.Trailer(Trailer{Done: true})
+	}))
+	f.Add(seed(func(e *Encoder) {
+		e.Append(database.Tuple{database.V(1), database.V(-2)})
+		e.Append(database.Tuple{database.TaggedValue(3, 9), database.V(database.MaxPayload)})
+		e.Marker(5)
+		e.Append(database.Tuple{database.V(7), database.V(7)})
+		e.Trailer(Trailer{Done: true, Count: 3, Mode: "auto", RootDone: 9})
+	}))
+	f.Add(seed(func(e *Encoder) {
+		e.SetMeta(map[string]any{"root_len": 3, "mode": "cdy"})
+		e.Append(database.Tuple{database.V(0), database.V(0)})
+		e.FlushBlock()
+		e.Trailer(Trailer{Done: false, Error: "spill: disk full", Count: 1})
+	}))
+	f.Add(appendFrame(nil, KindHeader, []byte{headerVersion, 0, 0, 0, 0, 0, 0}))
+	f.Add(appendFrame(nil, KindBlock, []byte{1, 2, 3}))
+	f.Add([]byte{0x46, 0x51, 0x43, 0x55, 0x02, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		var tuples []database.Tuple
+		var markers []int
+		var trailer *Trailer
+		arity := -1
+		clean := false
+		for i := 0; i < 1<<12; i++ {
+			fr, err := d.Next()
+			if err == io.EOF {
+				clean = d.SawTrailer()
+				break
+			}
+			if err != nil {
+				if err != io.ErrUnexpectedEOF && !errors.Is(err, ErrFormat) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			switch fr.Kind {
+			case KindHeader:
+				arity = fr.Arity
+			case KindBlock:
+				tuples = append(tuples, fr.Tuples...)
+				for _, tp := range fr.Tuples {
+					if len(tp) != arity {
+						t.Fatalf("block tuple arity %d, header %d", len(tp), arity)
+					}
+				}
+			case KindMarker:
+				markers = append(markers, fr.RootDone)
+			case KindTrailer:
+				trailer = fr.Trailer
+			}
+		}
+		if !clean || trailer == nil {
+			return
+		}
+		// Accepted stream: re-encode and check the round trip.
+		var buf bytes.Buffer
+		e, err := NewEncoder(&buf, arity)
+		if err != nil {
+			t.Fatalf("re-encode NewEncoder(%d): %v", arity, err)
+		}
+		for _, tp := range tuples {
+			if err := e.Append(tp); err != nil {
+				t.Fatalf("re-encode Append: %v", err)
+			}
+		}
+		for _, m := range markers {
+			if err := e.Marker(m); err != nil {
+				t.Fatalf("re-encode Marker: %v", err)
+			}
+		}
+		if err := e.Trailer(*trailer); err != nil {
+			t.Fatalf("re-encode Trailer: %v", err)
+		}
+		d2 := NewDecoder(bytes.NewReader(buf.Bytes()))
+		var tuples2 []database.Tuple
+		var trailer2 *Trailer
+		for {
+			fr, err := d2.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if fr.Kind == KindBlock {
+				tuples2 = append(tuples2, fr.Tuples...)
+			}
+			if fr.Kind == KindTrailer {
+				trailer2 = fr.Trailer
+			}
+		}
+		if len(tuples2) != len(tuples) {
+			t.Fatalf("re-decode %d tuples, want %d", len(tuples2), len(tuples))
+		}
+		for i := range tuples {
+			for j := range tuples[i] {
+				if tuples2[i][j] != tuples[i][j] {
+					t.Fatalf("re-decode tuple %d[%d] = %v, want %v", i, j, tuples2[i][j], tuples[i][j])
+				}
+			}
+		}
+		if trailer2 == nil || *trailer2 != *trailer {
+			t.Fatalf("re-decode trailer %+v, want %+v", trailer2, trailer)
+		}
+	})
+}

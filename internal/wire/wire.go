@@ -1,0 +1,299 @@
+// Package wire is the compact binary answer encoding of the streaming
+// server: a columnar frame format negotiated per request via the Accept
+// header, replacing per-row NDJSON text on the paths that move answers in
+// bulk (client streams that ask for it, and the coordinator→worker scatter
+// hop, where it is the default).
+//
+// A stream is a sequence of frames, each length-prefixed and checksummed
+// like the storage layer's WAL records:
+//
+//	magic   u32  frameMagic ("UCQF")
+//	kind    u8   header | block | marker | trailer
+//	length  u32  payload bytes (≤ MaxFramePayload)
+//	crc     u32  CRC-32 (IEEE) of the payload
+//	payload length bytes
+//
+// All fixed-width integers are little-endian. The first frame is always a
+// header (arity, per-column codec, optional JSON stream metadata); answers
+// travel in block frames holding up to MaxBlockRows tuples transposed into
+// columns, each column a run of zigzag-varint deltas of the raw 64-bit
+// value words — root-ordered enumeration makes the leading column nearly
+// sorted, so deltas stay in the one-byte varint range. Marker frames carry
+// the scatter protocol's root_done checkpoints, and an explicit trailer
+// frame ends the stream with the same fields the NDJSON trailer object
+// carries. A decoder can therefore distinguish "complete" from "truncated"
+// exactly as on the text protocol: no trailer frame, no complete stream.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/database"
+)
+
+// Media types the server negotiates between. NDJSON is the default and the
+// fallback for any Accept header that doesn't name the binary encoding.
+const (
+	// MediaTypeNDJSON is the text answer stream: one JSON array per
+	// answer, one JSON object trailer.
+	MediaTypeNDJSON = "application/x-ndjson"
+	// MediaTypeBinary is this package's columnar frame stream.
+	MediaTypeBinary = "application/x-ucq-bin"
+)
+
+// Kind is a frame type tag.
+type Kind uint8
+
+// Frame kinds.
+const (
+	KindHeader  Kind = 1
+	KindBlock   Kind = 2
+	KindMarker  Kind = 3
+	KindTrailer Kind = 4
+)
+
+const (
+	frameMagic     = 0x55435146 // "UCQF" little-endian
+	frameHeaderLen = 13
+	// MaxFramePayload bounds one frame's payload; a larger length field is
+	// corruption, not a request for a 4 GiB allocation.
+	MaxFramePayload = 1 << 26
+	// MaxBlockRows caps the tuples per block frame. Encoders flush earlier
+	// at the server's FlushEvery boundaries; this is the backstop that
+	// keeps decoder allocations bounded.
+	MaxBlockRows = 1 << 16
+	// MaxArity bounds the header's declared tuple width.
+	MaxArity = 1 << 12
+	// codecDeltaVarint is the only column codec today: zigzag varints of
+	// per-column deltas of the raw value words. The header carries one
+	// codec byte per column so the format can grow dictionary or
+	// run-length columns without a frame-level version bump.
+	codecDeltaVarint = 0
+	// headerVersion is the format version in the header frame.
+	headerVersion = 1
+)
+
+// ErrFormat reports a structurally invalid frame or payload. Streams are
+// either read to a trailer frame or failed with it — there is no partial
+// recovery inside a corrupt stream.
+var ErrFormat = errors.New("wire: malformed frame")
+
+// Trailer is the payload of a trailer frame: the same completion record
+// the NDJSON protocol sends as its final JSON object line, carried as a
+// CRC-protected JSON payload so the field set can grow without a format
+// bump. Done=false with a non-empty Error marks a stream that failed
+// mid-enumeration; RootDone is used on the scatter hop, where the trailer
+// doubles as the final progress marker.
+type Trailer struct {
+	Done           bool   `json:"done"`
+	Count          int    `json:"count"`
+	Mode           string `json:"mode,omitempty"`
+	Cache          string `json:"cache,omitempty"`
+	Dataset        string `json:"dataset,omitempty"`
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
+	Bind           string `json:"bind,omitempty"`
+	Scatter        string `json:"scatter,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	RootDone       int    `json:"root_done,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// checksum is the frame payload checksum — CRC-32 (IEEE), same as the WAL
+// records.
+func checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst []byte, kind Kind, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[9:], checksum(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// zigzag maps a signed delta onto the unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendTupleNDJSON appends the tuple rendered as a JSON array to dst and
+// returns the extended slice — the per-answer codec of the NDJSON stream,
+// allocation-free once dst has capacity. Untagged values render as
+// numbers; tagged values as "payload#tag" strings. ParseTupleNDJSON is its
+// exact inverse.
+func AppendTupleNDJSON(dst []byte, t database.Tuple) []byte {
+	dst = append(dst, '[')
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if v.Tag() == 0 {
+			dst = appendInt(dst, v.Payload())
+		} else {
+			dst = append(dst, '"')
+			dst = appendInt(dst, v.Payload())
+			dst = append(dst, '#')
+			dst = appendInt(dst, int64(v.Tag()))
+			dst = append(dst, '"')
+		}
+	}
+	return append(dst, ']')
+}
+
+// appendInt is strconv.AppendInt(dst, v, 10) without the import knot.
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		return appendUint(dst, uint64(-v))
+	}
+	return appendUint(dst, uint64(v))
+}
+
+func appendUint(dst []byte, v uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// ParseTupleNDJSON parses one NDJSON answer line — a JSON array as emitted
+// by AppendTupleNDJSON, with or without the trailing newline — into a
+// Tuple. It accepts exactly the stream's own output grammar: integers and
+// "payload#tag" strings, no nesting, no floats.
+func ParseTupleNDJSON(line []byte) (database.Tuple, error) {
+	i, n := 0, len(line)
+	skip := func() {
+		for i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r' || line[i] == '\n') {
+			i++
+		}
+	}
+	skip()
+	if i >= n || line[i] != '[' {
+		return nil, fmt.Errorf("wire: answer line is not a JSON array")
+	}
+	i++
+	var t database.Tuple
+	skip()
+	if i < n && line[i] == ']' {
+		i++
+		skip()
+		if i != n {
+			return nil, fmt.Errorf("wire: trailing bytes after answer array")
+		}
+		return t, nil
+	}
+	for {
+		skip()
+		if i >= n {
+			return nil, fmt.Errorf("wire: unterminated answer array")
+		}
+		var v database.Value
+		if line[i] == '"' {
+			i++
+			payload, err := parseIntUntil(line, &i, '#')
+			if err != nil {
+				return nil, err
+			}
+			i++ // '#'
+			tag, err := parseIntUntil(line, &i, '"')
+			if err != nil {
+				return nil, err
+			}
+			i++ // '"'
+			if tag < 1 || tag > 255 {
+				return nil, fmt.Errorf("wire: tag %d out of range", tag)
+			}
+			if payload > database.MaxPayload || payload < database.MinPayload {
+				return nil, fmt.Errorf("wire: payload %d out of range", payload)
+			}
+			v = database.TaggedValue(payload, uint8(tag))
+		} else {
+			payload, err := parseIntBare(line, &i)
+			if err != nil {
+				return nil, err
+			}
+			if payload > database.MaxPayload || payload < database.MinPayload {
+				return nil, fmt.Errorf("wire: payload %d out of range", payload)
+			}
+			v = database.V(payload)
+		}
+		t = append(t, v)
+		skip()
+		if i >= n {
+			return nil, fmt.Errorf("wire: unterminated answer array")
+		}
+		switch line[i] {
+		case ',':
+			i++
+		case ']':
+			i++
+			skip()
+			if i != n {
+				return nil, fmt.Errorf("wire: trailing bytes after answer array")
+			}
+			return t, nil
+		default:
+			return nil, fmt.Errorf("wire: unexpected byte %q in answer array", line[i])
+		}
+	}
+}
+
+// parseIntUntil parses a decimal integer from line[*i:] up to (not
+// consuming past) the terminator at line[*i] on return.
+func parseIntUntil(line []byte, i *int, term byte) (int64, error) {
+	v, err := parseIntBare(line, i)
+	if err != nil {
+		return 0, err
+	}
+	if *i >= len(line) || line[*i] != term {
+		return 0, fmt.Errorf("wire: expected %q in answer value", term)
+	}
+	return v, nil
+}
+
+// parseIntBare parses a decimal integer (with optional leading '-')
+// starting at line[*i], advancing *i past it.
+func parseIntBare(line []byte, i *int) (int64, error) {
+	n := len(line)
+	neg := false
+	if *i < n && line[*i] == '-' {
+		neg = true
+		*i++
+	}
+	start := *i
+	var v uint64
+	for *i < n && line[*i] >= '0' && line[*i] <= '9' {
+		d := uint64(line[*i] - '0')
+		if v > (1<<63-1)/10 {
+			return 0, fmt.Errorf("wire: integer overflow in answer value")
+		}
+		v = v*10 + d
+		*i++
+	}
+	if *i == start {
+		return 0, fmt.Errorf("wire: expected integer in answer value")
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, fmt.Errorf("wire: integer overflow in answer value")
+		}
+		return -int64(v), nil
+	}
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("wire: integer overflow in answer value")
+	}
+	return int64(v), nil
+}

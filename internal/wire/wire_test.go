@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// collect decodes a whole stream, returning tuples, markers and trailer.
+func collect(t *testing.T, b []byte) ([]database.Tuple, []int, *Trailer, json.RawMessage) {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(b))
+	var tuples []database.Tuple
+	var markers []int
+	var tr *Trailer
+	var meta json.RawMessage
+	for {
+		f, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		switch f.Kind {
+		case KindHeader:
+			meta = f.Meta
+		case KindBlock:
+			tuples = append(tuples, f.Tuples...)
+		case KindMarker:
+			markers = append(markers, f.RootDone)
+		case KindTrailer:
+			tr = f.Trailer
+		}
+	}
+	return tuples, markers, tr, meta
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetMeta(map[string]int{"root_len": 7}); err != nil {
+		t.Fatal(err)
+	}
+	want := []database.Tuple{
+		{database.V(1), database.V(2), database.V(3)},
+		{database.V(1), database.V(5), database.V(-9)},
+		{database.TaggedValue(42, 7), database.V(database.MaxPayload), database.V(database.MinPayload)},
+	}
+	for i, tp := range want {
+		if err := e.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := e.Marker(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Trailer(Trailer{Done: true, Count: 3, Mode: "auto"}); err != nil {
+		t.Fatal(err)
+	}
+
+	tuples, markers, tr, meta := collect(t, buf.Bytes())
+	if len(tuples) != len(want) {
+		t.Fatalf("decoded %d tuples, want %d", len(tuples), len(want))
+	}
+	for i := range want {
+		if len(tuples[i]) != len(want[i]) {
+			t.Fatalf("tuple %d arity %d, want %d", i, len(tuples[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if tuples[i][j] != want[i][j] {
+				t.Fatalf("tuple %d[%d] = %v, want %v", i, j, tuples[i][j], want[i][j])
+			}
+		}
+	}
+	if len(markers) != 1 || markers[0] != 4 {
+		t.Fatalf("markers = %v, want [4]", markers)
+	}
+	if tr == nil || !tr.Done || tr.Count != 3 || tr.Mode != "auto" {
+		t.Fatalf("trailer = %+v", tr)
+	}
+	var m struct {
+		RootLen int `json:"root_len"`
+	}
+	if err := json.Unmarshal(meta, &m); err != nil || m.RootLen != 7 {
+		t.Fatalf("meta = %s (err %v)", meta, err)
+	}
+}
+
+func TestRoundTripArityZero(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(database.Tuple{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Trailer(Trailer{Done: true, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, tr, _ := collect(t, buf.Bytes())
+	if len(tuples) != 1 || len(tuples[0]) != 0 {
+		t.Fatalf("tuples = %v, want one empty tuple", tuples)
+	}
+	if tr == nil || !tr.Done || tr.Count != 1 {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Trailer(Trailer{Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	tuples, markers, tr, _ := collect(t, buf.Bytes())
+	if len(tuples) != 0 || len(markers) != 0 {
+		t.Fatalf("tuples=%v markers=%v, want none", tuples, markers)
+	}
+	if tr == nil || !tr.Done {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+func TestRoundTripManyBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []database.Tuple
+	for i := 0; i < 5000; i++ {
+		tp := database.Tuple{
+			database.TaggedValue(rng.Int63n(1<<40)-(1<<39), uint8(rng.Intn(4))),
+			database.V(rng.Int63n(1000)),
+		}
+		want = append(want, tp)
+		if err := e.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+		if i%257 == 0 {
+			if err := e.FlushBlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Trailer(Trailer{Done: true, Count: len(want)}); err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, tr, _ := collect(t, buf.Bytes())
+	if len(tuples) != len(want) {
+		t.Fatalf("decoded %d tuples, want %d", len(tuples), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if tuples[i][j] != want[i][j] {
+				t.Fatalf("tuple %d[%d] = %v, want %v", i, j, tuples[i][j], want[i][j])
+			}
+		}
+	}
+	if tr == nil || tr.Count != len(want) {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, 1)
+	for i := 0; i < 10; i++ {
+		e.Append(database.Tuple{database.V(int64(i))})
+	}
+	e.FlushBlock()
+	e.Trailer(Trailer{Done: true, Count: 10})
+	full := buf.Bytes()
+
+	for cut := 1; cut < len(full); cut++ {
+		d := NewDecoder(bytes.NewReader(full[:len(full)-cut]))
+		sawTrailer := false
+		for {
+			f, err := d.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("cut %d: unexpected error %v", cut, err)
+				}
+				break
+			}
+			if f.Kind == KindTrailer {
+				sawTrailer = true
+			}
+		}
+		if sawTrailer || d.SawTrailer() {
+			t.Fatalf("cut %d: truncated stream reported a trailer", cut)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, 2)
+	e.Append(database.Tuple{database.V(1), database.V(2)})
+	e.Trailer(Trailer{Done: true, Count: 1})
+	full := buf.Bytes()
+
+	for i := range full {
+		b := append([]byte(nil), full...)
+		b[i] ^= 0x41
+		d := NewDecoder(bytes.NewReader(b))
+		for {
+			_, err := d.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+	// A flipped bit inside a payload must surface as ErrFormat (checksum).
+	b := append([]byte(nil), full...)
+	b[frameHeaderLen] ^= 1 // first header payload byte
+	d := NewDecoder(bytes.NewReader(b))
+	_, err := d.Next()
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("corrupt payload: err = %v, want ErrFormat", err)
+	}
+}
+
+func TestStructuralRules(t *testing.T) {
+	// Block before header.
+	raw := appendFrame(nil, KindBlock, []byte{1, 2})
+	d := NewDecoder(bytes.NewReader(raw))
+	if _, err := d.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("block before header: %v, want ErrFormat", err)
+	}
+
+	// Duplicate header: concatenating two streams must fail at the second
+	// header frame.
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, 1)
+	e.Append(database.Tuple{database.V(1)})
+	e.FlushBlock()
+	doubled := append(append([]byte(nil), buf.Bytes()...), buf.Bytes()...)
+	d = NewDecoder(bytes.NewReader(doubled))
+	var err error
+	for err == nil {
+		_, err = d.Next()
+	}
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("duplicate header: %v, want ErrFormat", err)
+	}
+
+	// Unknown kind.
+	raw = appendFrame(nil, Kind(9), nil)
+	d = NewDecoder(bytes.NewReader(raw))
+	if _, err := d.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unknown kind: %v, want ErrFormat", err)
+	}
+}
+
+func TestNDJSONTupleRoundTrip(t *testing.T) {
+	cases := []database.Tuple{
+		{},
+		{database.V(0)},
+		{database.V(-5), database.V(7)},
+		{database.TaggedValue(13, 2), database.V(database.MaxPayload)},
+		{database.V(database.MinPayload), database.TaggedValue(-1, 255)},
+	}
+	for _, tp := range cases {
+		line := AppendTupleNDJSON(nil, tp)
+		got, err := ParseTupleNDJSON(line)
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		if len(got) != len(tp) {
+			t.Fatalf("parse %s: arity %d, want %d", line, len(got), len(tp))
+		}
+		for i := range tp {
+			if got[i] != tp[i] {
+				t.Fatalf("parse %s: [%d] = %v, want %v", line, i, got[i], tp[i])
+			}
+		}
+		// With trailing newline too, as read off the stream.
+		if _, err := ParseTupleNDJSON(append(line, '\n')); err != nil {
+			t.Fatalf("parse with newline %s: %v", line, err)
+		}
+	}
+}
+
+func TestNDJSONTupleRejects(t *testing.T) {
+	bad := []string{
+		"", "{", "[1", "[1,]", "[,1]", "[1 2]", "[1]x", `["1#0"]`, `["1#256"]`,
+		`["1"]`, `["#1"]`, "[99999999999999999999]", "[1.5]", `[true]`,
+		`["72057594037927936#1"]`, // payload > MaxPayload
+	}
+	for _, s := range bad {
+		if _, err := ParseTupleNDJSON([]byte(s)); err == nil {
+			t.Fatalf("ParseTupleNDJSON(%q) accepted", s)
+		}
+	}
+}
+
+func TestEncoderArityMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, 2)
+	if err := e.Append(database.Tuple{database.V(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

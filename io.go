@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/database"
+	"repro/internal/wire"
 )
 
 // ReadRelationCSV reads a relation from comma- or whitespace-separated
@@ -145,24 +146,11 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 // AppendTupleJSON appends the tuple rendered as a JSON array to dst and
 // returns the extended slice — the per-answer NDJSON codec of the
 // streaming server, allocation-free once dst has capacity. Untagged values
-// render as numbers; tagged values as "payload#tag" strings.
+// render as numbers; tagged values as "payload#tag" strings. It delegates
+// to internal/wire so the server, the cluster hop and clients share one
+// codec (wire.ParseTupleNDJSON is its exact inverse).
 func AppendTupleJSON(dst []byte, t Tuple) []byte {
-	dst = append(dst, '[')
-	for i, v := range t {
-		if i > 0 {
-			dst = append(dst, ',')
-		}
-		if v.Tag() == 0 {
-			dst = strconv.AppendInt(dst, v.Payload(), 10)
-		} else {
-			dst = append(dst, '"')
-			dst = strconv.AppendInt(dst, v.Payload(), 10)
-			dst = append(dst, '#')
-			dst = strconv.AppendInt(dst, int64(v.Tag()), 10)
-			dst = append(dst, '"')
-		}
-	}
-	return append(dst, ']')
+	return wire.AppendTupleNDJSON(dst, t)
 }
 
 // WriteRelationCSV writes the relation as comma-separated rows in sorted

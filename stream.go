@@ -1,0 +1,142 @@
+package ucq
+
+// Client-side decoding of the server's answer streams. A streaming
+// response (POST /query, POST /datasets/{name}/query, and the cluster
+// scatter hop) carries answers in one of two encodings, negotiated via
+// the Accept header: NDJSON text lines, or the compact binary columnar
+// frames of internal/wire. DecodeAnswerStream hides the difference — pick
+// the encoding off the response Content-Type and get tuples plus the
+// trailer either way.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Media types of the two answer-stream encodings, for request Accept
+// headers and response Content-Type dispatch.
+const (
+	// MediaTypeNDJSON is the text encoding: one JSON array line per answer,
+	// control records as JSON object lines. The default.
+	MediaTypeNDJSON = wire.MediaTypeNDJSON
+	// MediaTypeBinary is the columnar binary frame encoding. Servers only
+	// send it to clients whose Accept names it explicitly.
+	MediaTypeBinary = wire.MediaTypeBinary
+)
+
+// StreamTrailer is the terminal record of an answer stream, whichever
+// encoding carried it: the NDJSON trailer object, or the binary trailer
+// frame. A stream that ends without one was truncated.
+type StreamTrailer struct {
+	Done           bool   `json:"done"`
+	Count          int    `json:"count"`
+	Mode           string `json:"mode"`
+	Cache          string `json:"cache"`
+	Dataset        string `json:"dataset,omitempty"`
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
+	Bind           string `json:"bind,omitempty"`
+	Scatter        string `json:"scatter,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	// RootDone is set on scatter-call trailers (the implicit final marker).
+	RootDone int `json:"root_done,omitempty"`
+	// Error is the stream's terminal failure: the enumeration died after
+	// answers already left the server. Done is false and the answers seen
+	// are an arbitrary prefix.
+	Error string `json:"error,omitempty"`
+}
+
+// DecodeAnswerStream reads one streaming query response from r, calling
+// yield for every answer tuple in stream order, and returns the stream's
+// trailer. contentType selects the decoder (a full Content-Type header
+// value is fine; parameters are ignored) — anything but MediaTypeBinary
+// decodes as NDJSON. If yield returns false the stream is abandoned
+// mid-read and DecodeAnswerStream returns (nil, nil): the caller stopped,
+// nothing failed. A stream that ends without a trailer, or whose bytes
+// don't parse, returns an error.
+func DecodeAnswerStream(r io.Reader, contentType string, yield func(Tuple) bool) (*StreamTrailer, error) {
+	media := contentType
+	if i := strings.IndexByte(media, ';'); i >= 0 {
+		media = media[:i]
+	}
+	if strings.TrimSpace(media) == MediaTypeBinary {
+		return decodeBinaryStream(r, yield)
+	}
+	return decodeNDJSONStream(r, yield)
+}
+
+func decodeBinaryStream(r io.Reader, yield func(Tuple) bool) (*StreamTrailer, error) {
+	dec := wire.NewDecoder(bufio.NewReaderSize(r, 64<<10))
+	for {
+		fr, err := dec.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("ucq: answer stream ended without a trailer")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ucq: reading answer stream: %v", err)
+		}
+		switch fr.Kind {
+		case wire.KindBlock:
+			for _, t := range fr.Tuples {
+				if !yield(t) {
+					return nil, nil
+				}
+			}
+		case wire.KindTrailer:
+			tr := fr.Trailer
+			return &StreamTrailer{
+				Done:           tr.Done,
+				Count:          tr.Count,
+				Mode:           tr.Mode,
+				Cache:          tr.Cache,
+				Dataset:        tr.Dataset,
+				DatasetVersion: tr.DatasetVersion,
+				Bind:           tr.Bind,
+				Scatter:        tr.Scatter,
+				Workers:        tr.Workers,
+				RootDone:       tr.RootDone,
+				Error:          tr.Error,
+			}, nil
+		}
+	}
+}
+
+func decodeNDJSONStream(r io.Reader, yield func(Tuple) bool) (*StreamTrailer, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for scanner.Scan() {
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] == '[' {
+			t, err := wire.ParseTupleNDJSON(raw)
+			if err != nil {
+				return nil, fmt.Errorf("ucq: malformed answer line %q: %v", raw, err)
+			}
+			if !yield(t) {
+				return nil, nil
+			}
+			continue
+		}
+		var tr StreamTrailer
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return nil, fmt.Errorf("ucq: malformed stream record %q: %v", raw, err)
+		}
+		if !tr.Done && tr.Error == "" {
+			// A control object that is neither a completed trailer nor an
+			// error — scatter headers and markers land here. Plain /query
+			// streams never carry them; skip so scatter streams decode too.
+			continue
+		}
+		return &tr, nil
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ucq: reading answer stream: %v", err)
+	}
+	return nil, fmt.Errorf("ucq: answer stream ended without a trailer")
+}

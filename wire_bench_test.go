@@ -1,0 +1,137 @@
+// BenchmarkE21WireThroughput lives in the external test package for the
+// same reason as E19: it drives repro/internal/server end to end over
+// real HTTP, which the internal bench file cannot import without a cycle.
+package ucq_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	ucq "repro"
+	"repro/internal/server"
+)
+
+// countReader counts the bytes pulled through it — the decoded stream's
+// true wire size, whichever encoding framed it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// BenchmarkE21WireThroughput: answers/sec through one server under
+// concurrent streaming clients, NDJSON vs the binary columnar frames —
+// the tentpole number for the wire protocol. Each op is a full round of
+// clients streams of a 40k-answer join, every stream decoded client-side
+// with ucq.DecodeAnswerStream and checked for the exact answer count, so
+// the measurement covers encode, transport and decode. MaxStreams is
+// pinned well above the client count: this measures the encodings, not
+// the admission gate. Core-count-sensitive (concurrent streams share the
+// scheduler), so benchgate skips it across machines with different
+// GOMAXPROCS (the ^BenchmarkE2[01] rule).
+func BenchmarkE21WireThroughput(b *testing.B) {
+	const (
+		query   = "Q(x,z,y) <- R(x,z), S(z,y)."
+		clients = 4
+	)
+	rels, want := fanoutRelations(0, 0, 50, 40, 20) // 50·40·20 = 40000 answers
+	body, err := json.Marshal(map[string]any{"relations": rels})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qbody, err := json.Marshal(map[string]any{"query": query})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, enc := range []struct{ name, accept string }{
+		{"ndjson", ucq.MediaTypeNDJSON},
+		{"binary", ucq.MediaTypeBinary},
+	} {
+		b.Run(fmt.Sprintf("encoding=%s/clients=%d", enc.name, clients), func(b *testing.B) {
+			s := server.New(server.Config{MaxStreams: 64})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			req, err := http.NewRequest(http.MethodPut, ts.URL+"/datasets/join", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("PUT dataset: status %d", resp.StatusCode)
+			}
+
+			var answers, wireBytes atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, clients)
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						req, err := http.NewRequest(http.MethodPost, ts.URL+"/datasets/join/query", bytes.NewReader(qbody))
+						if err != nil {
+							errs <- err
+							return
+						}
+						req.Header.Set("Content-Type", "application/json")
+						req.Header.Set("Accept", enc.accept)
+						resp, err := http.DefaultClient.Do(req)
+						if err != nil {
+							errs <- err
+							return
+						}
+						defer resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("status %d", resp.StatusCode)
+							return
+						}
+						cr := &countReader{r: resp.Body}
+						got := 0
+						tr, err := ucq.DecodeAnswerStream(cr, resp.Header.Get("Content-Type"), func(ucq.Tuple) bool {
+							got++
+							return true
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if tr == nil || tr.Error != "" || got != want {
+							errs <- fmt.Errorf("answers = %d, want %d (trailer %+v)", got, want, tr)
+							return
+						}
+						answers.Add(int64(got))
+						wireBytes.Add(cr.n)
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(answers.Load())/b.Elapsed().Seconds(), "answers/sec")
+			b.ReportMetric(float64(wireBytes.Load())/float64(answers.Load()), "bytes/answer")
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package ucq_test
+
+// Cross-encoding equivalence arm of the randomized harness: over seeded
+// random UCQs and instances, one real HTTP server must stream the
+// identical answer set — trailer included — whether the client negotiated
+// NDJSON or the binary columnar frames, with both sides decoded by the
+// same ucq.DecodeAnswerStream helper clients use. Black-box package: the
+// server imports the root package, so this arm cannot live inside it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	ucq "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// instanceRows renders an instance as the request wire shape.
+func instanceRows(inst *ucq.Instance) map[string][][]int64 {
+	out := map[string][][]int64{}
+	for _, name := range inst.Names() {
+		rel := inst.Relation(name)
+		rows := make([][]int64, 0, rel.Len())
+		for _, t := range rel.Rows() {
+			row := make([]int64, len(t))
+			for i, v := range t {
+				row[i] = v.Payload()
+			}
+			rows = append(rows, row)
+		}
+		out[name] = rows
+	}
+	return out
+}
+
+// streamOnce runs one query against the server with the given Accept and
+// returns the canonically sorted answers, the trailer, and the response
+// Content-Type.
+func streamOnce(t *testing.T, url, accept, query string, rels map[string][][]int64) ([]string, *ucq.StreamTrailer, string) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"query": query, "relations": rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d for Accept %q", resp.StatusCode, accept)
+	}
+	var rows []string
+	tr, err := ucq.DecodeAnswerStream(resp.Body, resp.Header.Get("Content-Type"), func(tup ucq.Tuple) bool {
+		parts := make([]string, len(tup))
+		for i, v := range tup {
+			parts[i] = v.String()
+		}
+		rows = append(rows, strings.Join(parts, ","))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("decoding %q stream: %v", accept, err)
+	}
+	if tr == nil {
+		t.Fatalf("%q stream ended without a trailer", accept)
+	}
+	sort.Strings(rows)
+	return rows, tr, resp.Header.Get("Content-Type")
+}
+
+// TestCrossEncodingEquivalence: for every random case, the binary and
+// NDJSON streams of the same query against the same server must decode to
+// identical answer sets and agreeing trailers.
+func TestCrossEncodingEquivalence(t *testing.T) {
+	const cases = 60
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < cases; i++ {
+		u := workload.RandomUCQ(rng)
+		rows := 8 + rng.Intn(20)
+		width := int64(2 + rng.Intn(5))
+		inst := workload.RandomForQuery(u, rows, width, rng.Int63())
+		rels := instanceRows(inst)
+		query := u.String()
+
+		ndRows, ndTr, ndCT := streamOnce(t, ts.URL, ucq.MediaTypeNDJSON, query, rels)
+		binRows, binTr, binCT := streamOnce(t, ts.URL, ucq.MediaTypeBinary, query, rels)
+
+		if ndCT != ucq.MediaTypeNDJSON {
+			t.Fatalf("case %d: NDJSON arm got Content-Type %q", i, ndCT)
+		}
+		if binCT != ucq.MediaTypeBinary {
+			t.Fatalf("case %d: binary arm got Content-Type %q", i, binCT)
+		}
+		if strings.Join(ndRows, "\n") != strings.Join(binRows, "\n") {
+			t.Fatalf("case %d: encodings disagree on\n%s\nndjson (%d):\n%s\nbinary (%d):\n%s",
+				i, query, len(ndRows), strings.Join(ndRows, "\n"), len(binRows), strings.Join(binRows, "\n"))
+		}
+		if ndTr.Count != binTr.Count || ndTr.Done != binTr.Done || ndTr.Mode != binTr.Mode {
+			t.Fatalf("case %d: trailers disagree: ndjson %+v vs binary %+v", i, ndTr, binTr)
+		}
+		if ndTr.Count != len(ndRows) {
+			t.Fatalf("case %d: trailer count %d but %d answers decoded", i, ndTr.Count, len(ndRows))
+		}
+	}
+	// Size check on a stream big enough that the fixed header/trailer
+	// frames don't dominate (the random cases above are tiny — a dozen
+	// answers pay ~40 bytes of frame overhead): on real volume the
+	// columnar encoding must be the smaller stream.
+	big := map[string][][]int64{}
+	for i := int64(0); i < 200; i++ {
+		big["R"] = append(big["R"], []int64{i, i % 20})
+	}
+	for z := int64(0); z < 20; z++ {
+		for j := int64(0); j < 10; j++ {
+			big["S"] = append(big["S"], []int64{z, z*1000 + j})
+		}
+	}
+	const bigJoin = "Q(x,z,y) <- R(x,z), S(z,y)."
+	before := s.StatsSnapshot().Wire
+	ndRows, _, _ := streamOnce(t, ts.URL, ucq.MediaTypeNDJSON, bigJoin, big)
+	mid := s.StatsSnapshot().Wire
+	binRows, _, _ := streamOnce(t, ts.URL, ucq.MediaTypeBinary, bigJoin, big)
+	after := s.StatsSnapshot().Wire
+	if strings.Join(ndRows, "\n") != strings.Join(binRows, "\n") {
+		t.Fatalf("big case: encodings disagree (%d vs %d answers)", len(ndRows), len(binRows))
+	}
+	ndBytes := mid.NDJSONBytes - before.NDJSONBytes
+	binBytes := after.BinaryBytes - mid.BinaryBytes
+	if binBytes >= ndBytes {
+		t.Errorf("big case: binary stream %d bytes ≥ ndjson stream %d bytes for %d answers",
+			binBytes, ndBytes, len(ndRows))
+	}
+	t.Logf("cross-encoding equivalence: %d random cases; big case %d answers, %d binary vs %d ndjson bytes",
+		cases, len(ndRows), binBytes, ndBytes)
+}
