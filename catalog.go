@@ -29,6 +29,19 @@ import (
 // leaves it zero.
 const DefaultBindCacheSize = 256
 
+// DefaultAppendLogSize is the per-dataset append-log window used when
+// CatalogConfig leaves it zero: how many consecutive append deltas a
+// dataset retains for incremental subscription catch-up before the oldest
+// is compacted away (forcing lagging subscribers to resync from a full
+// evaluation).
+const DefaultAppendLogSize = 32
+
+// Version identifies one immutable snapshot of a dataset: 1 after
+// Register, bumped by every Replace or AppendRows. It aliases uint64 so
+// existing callers are unaffected; the delta-maintenance API uses the name
+// to make version arguments self-describing.
+type Version = uint64
+
 // CatalogConfig tunes a Catalog.
 type CatalogConfig struct {
 	// BindCacheSize caps the bind cache (entries; 0 = DefaultBindCacheSize).
@@ -36,6 +49,12 @@ type CatalogConfig struct {
 	// BindCacheTTL expires cached binds this long after they were computed
 	// (0 = never). Expired binds are recomputed on the next BindDataset.
 	BindCacheTTL time.Duration
+	// AppendLogSize caps each dataset's append-delta log (entries; 0 =
+	// DefaultAppendLogSize, negative = retain nothing, forcing every
+	// subscription catch-up to resync). The log is what lets a subscriber
+	// that missed several versions catch up incrementally; compaction past
+	// the cap degrades it to a resync, never to unbounded memory.
+	AppendLogSize int
 }
 
 // Journal receives every catalog mutation before it is installed, for
@@ -64,6 +83,9 @@ type Catalog struct {
 	// generation in the bind key is what keeps the new dataset's binds
 	// apart from any still-in-flight fills against the old one.
 	gen atomic.Uint64
+	// appendLog is the per-dataset delta-log capacity (resolved from
+	// CatalogConfig.AppendLogSize; < 0 retains nothing).
+	appendLog int
 }
 
 // NewCatalog builds an empty catalog with default configuration.
@@ -76,9 +98,17 @@ func NewCatalogConfig(cfg CatalogConfig) *Catalog {
 	if cfg.BindCacheSize <= 0 {
 		cfg.BindCacheSize = DefaultBindCacheSize
 	}
+	logCap := cfg.AppendLogSize
+	switch {
+	case logCap == 0:
+		logCap = DefaultAppendLogSize
+	case logCap < 0:
+		logCap = 0
+	}
 	return &Catalog{
-		datasets: make(map[string]*Dataset),
-		binds:    vcache.New[*boundQuery](cfg.BindCacheSize, cfg.BindCacheTTL),
+		datasets:  make(map[string]*Dataset),
+		binds:     vcache.New[*boundQuery](cfg.BindCacheSize, cfg.BindCacheTTL),
+		appendLog: logCap,
 	}
 }
 
@@ -155,7 +185,7 @@ func (c *Catalog) Dataset(name string) (*Dataset, bool) {
 // recovery rather than losing anything.
 func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
-	_, ok := c.datasets[name]
+	ds, ok := c.datasets[name]
 	delete(c.datasets, name)
 	if ok && c.journal != nil {
 		_ = c.journal.LogDrop(name)
@@ -163,6 +193,9 @@ func (c *Catalog) Drop(name string) bool {
 	c.mu.Unlock()
 	if ok {
 		c.purgeBinds(name)
+		if ds != nil {
+			ds.notify(ds.Version())
+		}
 	}
 	return ok
 }
@@ -224,6 +257,30 @@ type Dataset struct {
 	// wmu serializes writers (Replace, AppendRows).
 	wmu  sync.Mutex
 	snap atomic.Pointer[snapshot]
+
+	// Append-delta log for incremental subscription catch-up. logBase is
+	// the snapshot just before the oldest retained entry; together they
+	// cover every version in [logBase.version, head] as long as the log is
+	// contiguous. Compaction (cap overflow) advances logBase; Replace
+	// clears the log entirely (a replace is not a delta). Guarded by logMu,
+	// nested inside wmu on the write path.
+	logMu   sync.Mutex
+	log     []appendDelta
+	logBase *snapshot
+
+	// subs holds the live subscriptions to notify after every snapshot
+	// installation (append, replace) and on drop. Guarded by subMu.
+	subMu sync.Mutex
+	subs  map[*Subscription]struct{}
+}
+
+// appendDelta is one retained AppendRows outcome: the relations' appended
+// rows (possibly empty — recorded anyway so the log stays contiguous) and
+// the snapshot the append installed.
+type appendDelta struct {
+	version uint64
+	rels    map[string]*database.Relation
+	snap    *snapshot
 }
 
 // snapshot is one immutable (version, instance) pair.
@@ -285,10 +342,12 @@ func (ds *Dataset) Replace(inst *Instance) (uint64, error) {
 		}
 	}
 	ds.snap.Store(newSnapshot(ds.name, v, inst))
+	ds.clearLog()
 	ds.wmu.Unlock()
 	if ds.cat != nil {
 		ds.cat.purgeBinds(ds.name)
 	}
+	ds.notify(v)
 	return v, nil
 }
 
@@ -339,6 +398,7 @@ func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
 	defer ds.wmu.Unlock()
 	cur := ds.snap.Load()
 	inst := cur.inst.ShallowClone()
+	deltaRels := make(map[string]*database.Relation, len(names))
 	for _, name := range names {
 		rows := rels[name]
 		if len(rows) == 0 {
@@ -359,6 +419,9 @@ func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
 		}
 		appendValidatedRows(rel, rows)
 		inst.AddRelation(rel)
+		drel := database.NewRelation(name, rel.Arity())
+		appendValidatedRows(drel, rows)
+		deltaRels[name] = drel
 	}
 	v := cur.version + 1
 	if ds.cat != nil && ds.cat.journal != nil {
@@ -366,11 +429,96 @@ func (ds *Dataset) AppendRows(rels map[string][][]int64) (uint64, error) {
 			return 0, err
 		}
 	}
-	ds.snap.Store(newSnapshot(ds.name, v, inst))
+	snap := newSnapshot(ds.name, v, inst)
+	ds.snap.Store(snap)
+	ds.recordAppend(cur, appendDelta{version: v, rels: deltaRels, snap: snap})
 	if ds.cat != nil {
 		ds.cat.purgeBinds(ds.name)
 	}
+	ds.notify(v)
 	return v, nil
+}
+
+// recordAppend logs one append delta for subscription catch-up, compacting
+// the oldest entry past the catalog's cap. prev is the snapshot the delta
+// applied to: it seeds logBase when the log (re)starts, so the covered
+// window always begins at a version whose full instance is retained.
+func (ds *Dataset) recordAppend(prev *snapshot, d appendDelta) {
+	if ds.cat == nil || ds.cat.appendLog <= 0 {
+		return
+	}
+	ds.logMu.Lock()
+	defer ds.logMu.Unlock()
+	if ds.logBase == nil || (len(ds.log) == 0 && ds.logBase.version != prev.version) ||
+		(len(ds.log) > 0 && ds.log[len(ds.log)-1].version != prev.version) {
+		// (Re)start the window at prev: the log was empty, cleared by a
+		// Replace, or somehow non-contiguous.
+		ds.log = ds.log[:0]
+		ds.logBase = prev
+	}
+	ds.log = append(ds.log, d)
+	for len(ds.log) > ds.cat.appendLog {
+		ds.logBase = ds.log[0].snap
+		copy(ds.log, ds.log[1:])
+		ds.log = ds.log[:len(ds.log)-1]
+	}
+}
+
+// clearLog drops the retained deltas (Replace installs a non-delta
+// snapshot, making incremental catch-up across it impossible).
+func (ds *Dataset) clearLog() {
+	ds.logMu.Lock()
+	ds.log = nil
+	ds.logBase = nil
+	ds.logMu.Unlock()
+}
+
+// DeltasBetween returns the dataset's merged append delta over the version
+// window (from, to]: the instance at from, the instance at to, and per
+// relation the rows appended anywhere in the window. ok is false when the
+// retained log does not cover the whole window — the subscriber missed a
+// compaction or a Replace and must resync from a full evaluation.
+func (ds *Dataset) DeltasBetween(from, to Version) (fromInst, toInst *Instance, deltas map[string]*database.Relation, ok bool) {
+	if from > to {
+		return nil, nil, nil, false
+	}
+	ds.logMu.Lock()
+	defer ds.logMu.Unlock()
+	if ds.logBase == nil || ds.logBase.version > from {
+		return nil, nil, nil, false
+	}
+	if len(ds.log) == 0 || ds.log[len(ds.log)-1].version < to {
+		return nil, nil, nil, false
+	}
+	fromInst = ds.logBase.inst
+	toInst = ds.logBase.inst
+	deltas = make(map[string]*database.Relation)
+	for _, d := range ds.log {
+		if d.version > to {
+			break
+		}
+		if d.version <= from {
+			if d.version == from {
+				fromInst = d.snap.inst
+			}
+			if d.version <= to {
+				toInst = d.snap.inst
+			}
+			continue
+		}
+		toInst = d.snap.inst
+		for name, rel := range d.rels {
+			m := deltas[name]
+			if m == nil {
+				m = database.NewRelation(name, rel.Arity())
+				deltas[name] = m
+			}
+			for i, n := 0, rel.Len(); i < n; i++ {
+				m.Append(rel.Row(i)...)
+			}
+		}
+	}
+	return fromInst, toInst, deltas, true
 }
 
 // bindKey builds the bind-cache key. The dataset name leads so Replace and
@@ -455,5 +603,86 @@ func (pq *PreparedQuery) BindDatasetExecContext(ctx context.Context, ds *Dataset
 	p.dsName = snap.name
 	p.dsVersion = snap.version
 	p.bindHit = hit
+	p.ds = ds
 	return p, nil
+}
+
+// Subscription is a registration for dataset-change wake-ups: every
+// snapshot installation (AppendRows, Replace) and the drop of the dataset
+// signals Updates. The channel is a coalescing wake signal, not a version
+// feed — the value is the head version at notification time, and
+// notifications arriving while one is pending are folded into it, so a
+// woken subscriber must read the dataset's current state rather than trust
+// the value to be the head. Close unregisters; it is idempotent and safe
+// to call concurrently with notifications.
+type Subscription struct {
+	ds   *Dataset
+	ch   chan uint64
+	once sync.Once
+}
+
+// Updates returns the wake channel. It is closed when the subscription is
+// Closed; it is NOT closed when the dataset is dropped (a drop signals a
+// normal wake-up, and the subscriber observes the missing registration).
+func (s *Subscription) Updates() <-chan uint64 { return s.ch }
+
+// Dataset returns the dataset the subscription is registered on. Binding
+// plans through it (rather than a fresh catalog lookup) guarantees the
+// subscription's wake-ups and the plans' snapshots describe the same
+// dataset even across a concurrent drop-and-recreate of the name.
+func (s *Subscription) Dataset() *Dataset { return s.ds }
+
+// Close unregisters the subscription and closes its channel.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.ds.subMu.Lock()
+		delete(s.ds.subs, s)
+		s.ds.subMu.Unlock()
+		// No notifier can hold the channel anymore: notify sends only
+		// under subMu and only to registered subscriptions.
+		close(s.ch)
+	})
+}
+
+// notify wakes every subscriber with the new head version, coalescing into
+// a pending wake-up when the subscriber has not consumed the last one.
+func (ds *Dataset) notify(version uint64) {
+	ds.subMu.Lock()
+	for s := range ds.subs {
+		select {
+		case s.ch <- version:
+		default:
+		}
+	}
+	ds.subMu.Unlock()
+}
+
+// subscribe registers a new subscription on the dataset.
+func (ds *Dataset) subscribe() *Subscription {
+	s := &Subscription{ds: ds, ch: make(chan uint64, 1)}
+	ds.subMu.Lock()
+	if ds.subs == nil {
+		ds.subs = make(map[*Subscription]struct{})
+	}
+	ds.subs[s] = struct{}{}
+	ds.subMu.Unlock()
+	return s
+}
+
+// Subscribe registers for change notifications on the named dataset. The
+// caller must Close the subscription when done. Typical use pairs it with
+// the delta API: bind at the current version, then on every wake-up compute
+// Plan.DeltaAnswers up to the new head (resyncing from a full enumeration
+// when the dataset's retained append log no longer covers the gap).
+//
+// Subscribe before the initial bind: a subscription registered first can
+// miss no version — an append racing the bind shows up either in the bound
+// snapshot or as a wake-up (or both, which the version arithmetic
+// de-duplicates).
+func (c *Catalog) Subscribe(name string) (*Subscription, error) {
+	ds, ok := c.Dataset(name)
+	if !ok {
+		return nil, fmt.Errorf("ucq: dataset %q not registered", name)
+	}
+	return ds.subscribe(), nil
 }

@@ -370,3 +370,150 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("ucq-serve did not exit within 15s of SIGTERM")
 	}
 }
+
+// TestServeSubscribeCLI runs the subscription protocol over a real socket
+// through the built binaries: ucq-serve hosts a dataset, ucq-run
+// -subscribe prints the initial answers, a PUT append lands while the
+// subscription is live, and the pushed delta answer carries the client to
+// its -limit, at which point it exits cleanly. Skipped in -short mode.
+func TestServeSubscribeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subscribe CLI e2e shells out to the Go toolchain")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "ucq-serve")
+	if out, err := exec.Command("go", "build", "-o", serveBin, "./cmd/ucq-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build ucq-serve: %v\n%s", err, out)
+	}
+	runBin := filepath.Join(dir, "ucq-run")
+	if out, err := exec.Command("go", "build", "-o", runBin, "./cmd/ucq-run").CombinedOutput(); err != nil {
+		t.Fatalf("go build ucq-run: %v\n%s", err, out)
+	}
+	queryPath := filepath.Join(dir, "sub.ucq")
+	if err := os.WriteFile(queryPath, []byte("Q(x,y,z) <- R(x,y), S(y,z).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	serve := exec.Command(serveBin, "-addr", addr)
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serve.Process.Kill()
+		serve.Wait()
+	}()
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 150; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("ucq-serve did not become ready")
+	}
+
+	put := func(body string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, base+"/datasets/edges", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT /datasets/edges: status %d", resp.StatusCode)
+		}
+	}
+	put(`{"relations": {"R": [[1,10],[2,20]], "S": [[10,100],[20,200]]}}`)
+
+	// -limit 3: two initial answers plus the one the append pushes.
+	sub := exec.Command(runBin, "-q", queryPath, "-remote", base, "-dataset", "edges", "-subscribe", "-limit", "3")
+	var stdout, stderr strings.Builder
+	sub.Stdout = &stdout
+	sub.Stderr = &stderr
+	if err := sub.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if killed {
+			return
+		}
+		sub.Process.Kill()
+		sub.Wait()
+	}()
+
+	// Only append once the server reports the live subscription, so the
+	// delta is pushed rather than folded into the initial set.
+	subscribed := false
+	for i := 0; i < 150; i++ {
+		resp, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats struct {
+			Subscriptions struct {
+				Active int64 `json:"active"`
+			} `json:"subscriptions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Subscriptions.Active >= 1 {
+			subscribed = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !subscribed {
+		t.Fatal("subscription never showed up in /stats")
+	}
+	put(`{"relations": {"R": [[3,10]]}, "append": true}`)
+
+	done := make(chan error, 1)
+	go func() { done <- sub.Wait() }()
+	select {
+	case err := <-done:
+		killed = true
+		if err != nil {
+			t.Fatalf("ucq-run -subscribe: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ucq-run -subscribe did not reach -limit within 30s\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+
+	lines := strings.Fields(strings.TrimSpace(stdout.String()))
+	want := map[string]bool{"1,10,100": false, "2,20,200": false, "3,10,100": false}
+	if len(lines) != 3 {
+		t.Fatalf("stdout = %q, want exactly 3 answers", lines)
+	}
+	for _, line := range lines {
+		if _, ok := want[line]; !ok {
+			t.Errorf("unexpected answer line %q", line)
+		}
+		want[line] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing answer %s", k)
+		}
+	}
+	if !strings.Contains(stderr.String(), "complete through v1") {
+		t.Errorf("stderr missing the v1 version marker:\n%s", stderr.String())
+	}
+}

@@ -166,7 +166,7 @@ type Comparison struct {
 // Comparing their timings across machines with different parallelism
 // measures the hardware, not the code, so the gate skips them (with a
 // warning) when the snapshots' GOMAXPROCS differ.
-var parallelBench = regexp.MustCompile(`^BenchmarkE1[2-9]|^BenchmarkE2[01]`)
+var parallelBench = regexp.MustCompile(`^BenchmarkE1[2-9]|^BenchmarkE2[0-2]`)
 
 // Ratio is one benchmark's regression factor.
 type Ratio struct {

@@ -24,6 +24,12 @@
 // encoding to request: "binary" (the default — the compact columnar
 // frames) or "ndjson".
 //
+// With -remote, -dataset and -subscribe the query becomes a live
+// subscription: the server streams the dataset's current answer set, then
+// pushes the answers every later append adds, punctuated by version
+// markers (reported on stderr). -from-version resumes a previous
+// subscription from the last marker it saw.
+//
 // With -dataset the relations are registered as a named dataset in an
 // in-process catalog and the query is evaluated through
 // Prepare/BindDataset — the same code path the server's
@@ -76,6 +82,8 @@ func main() {
 	dataset := flag.String("dataset", "", "register the instance as a catalog dataset `name[=instance.json]` and bind through it")
 	remote := flag.String("remote", "", "evaluate against a running ucq-serve at this base `URL` instead of locally")
 	wireFlag := flag.String("wire", "binary", "answer-stream encoding to request from -remote: binary | ndjson")
+	subscribe := flag.Bool("subscribe", false, "subscribe to the dataset's live answer stream (requires -remote and -dataset): print the initial answers, then every answer later appends add")
+	fromVersion := flag.Uint64("from-version", 0, "with -subscribe: resume from this dataset version — the initial batch is the delta since it instead of the full answer set")
 	flag.Parse()
 
 	if *queryFile == "" {
@@ -91,6 +99,14 @@ func main() {
 		fatal(err)
 	}
 
+	if *subscribe {
+		dsName, _, _ := strings.Cut(*dataset, "=")
+		if *remote == "" || dsName == "" {
+			fatal(errors.New("-subscribe requires -remote and -dataset (the live stream is served by ucq-serve)"))
+		}
+		runSubscribe(*remote, *wireFlag, string(src), dsName, *mode, *limit, *fromVersion)
+		return
+	}
 	if *remote != "" {
 		runRemote(*remote, *wireFlag, string(src), rels, *dataset, *mode, *limit, *countOnly)
 		return
@@ -317,6 +333,85 @@ func runRemote(base, wireEnc, query string, rels relFlags, dataset string, mode 
 	}
 	if err := out.Flush(); err != nil {
 		fatal(err)
+	}
+}
+
+// runSubscribe opens a live subscription on a server-side dataset: POST
+// /datasets/{name}/subscribe, decoded with ucq.DecodeSubscriptionStream.
+// Answers go to stdout as they arrive; version markers and resyncs are
+// reported on stderr. The stream runs until the server ends it, the
+// connection drops, or -limit answers have been printed.
+func runSubscribe(base, wireEnc, query, dsName, mode string, limit int, fromVersion uint64) {
+	var accept string
+	switch wireEnc {
+	case "binary":
+		accept = ucq.MediaTypeBinary
+	case "ndjson":
+		accept = ucq.MediaTypeNDJSON
+	default:
+		fatal(fmt.Errorf("invalid -wire %q: want binary or ndjson", wireEnc))
+	}
+	body, err := json.Marshal(struct {
+		Query   string `json:"query"`
+		Options struct {
+			Mode string `json:"mode,omitempty"`
+		} `json:"options"`
+		FromVersion uint64 `json:"from_version,omitempty"`
+	}{Query: query, Options: struct {
+		Mode string `json:"mode,omitempty"`
+	}{Mode: mode}, FromVersion: fromVersion})
+	if err != nil {
+		fatal(err)
+	}
+	url := strings.TrimSuffix(base, "/") + "/datasets/" + dsName + "/subscribe"
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw))))
+	}
+	fmt.Fprintf(os.Stderr, "ucq-run: subscribed to %s at %s (%s, %s evaluation, v%s)\n",
+		dsName, base, resp.Header.Get("Content-Type"), resp.Header.Get("X-Ucq-Mode"),
+		resp.Header.Get("X-Ucq-Dataset-Version"))
+
+	n := 0
+	var buf []byte
+	tr, err := ucq.DecodeSubscriptionStream(resp.Body, resp.Header.Get("Content-Type"),
+		func(t ucq.Tuple) bool {
+			n++
+			buf = buf[:0]
+			for i, v := range t {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, v.String()...)
+			}
+			fmt.Println(string(buf))
+			return limit <= 0 || n < limit
+		},
+		func(ev ucq.SubscriptionEvent) bool {
+			if ev.Resync {
+				fmt.Fprintf(os.Stderr, "ucq-run: resync: discarding state; full set at v%d follows\n", ev.Version)
+				n = 0
+			} else {
+				fmt.Fprintf(os.Stderr, "ucq-run: complete through v%d (%d answers)\n", ev.Version, n)
+			}
+			return true
+		})
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil && tr.Error != "" {
+		fatal(fmt.Errorf("subscription ended by server after %d answers: %s", n, tr.Error))
 	}
 }
 

@@ -12,7 +12,7 @@
 //	          [-role single|worker|coordinator] [-workers http://w1:8454,...]
 //	          [-scatter-stall 30s] [-scatter-retries 4] [-scatter-backoff 50ms]
 //	          [-scatter-marker 128] [-max-streams 2*GOMAXPROCS]
-//	          [-queue-deadline 1s]
+//	          [-queue-deadline 1s] [-max-subscriptions 64] [-append-log 32]
 //
 // Endpoints:
 //
@@ -36,9 +36,20 @@
 //	                              the Theorem 12 counting pass without
 //	                              enumerating (also available anywhere via
 //	                              options.count_only)
+//	GET    /datasets/{name}/subscribe
+//	POST   /datasets/{name}/subscribe
+//	                              live subscription: stream the dataset's
+//	                              current answer set, then push exactly the
+//	                              answers every later append adds
+//	                              (incremental delta evaluation over the
+//	                              append log), each batch ended by a
+//	                              {"version": N} marker. from_version
+//	                              resumes from a previous marker; slow
+//	                              subscribers degrade to a resync marker +
+//	                              full answer set, never unbounded memory
 //	GET    /stats                 cache, bind-cache, dataset, delay,
-//	                              cancellation and auto-decision counters
-//	                              as JSON
+//	                              cancellation, auto-decision and
+//	                              subscription counters as JSON
 //	GET    /healthz               liveness probe
 //
 // Execution is adaptive by default: when a request sets none of the
@@ -122,20 +133,24 @@ func main() {
 	scatterMarker := flag.Int("scatter-marker", cluster.DefaultMarkerEvery, "ask workers for a progress marker about every N answers")
 	maxStreams := flag.Int("max-streams", 0, "concurrent streaming-request cap; excess requests queue then shed with 429 (0 = 2*GOMAXPROCS)")
 	queueDeadline := flag.Duration("queue-deadline", server.DefaultQueueDeadline, "how long a streaming request may queue for a slot before it is shed")
+	maxSubscriptions := flag.Int("max-subscriptions", server.DefaultMaxSubscriptions, "concurrent /subscribe cap (separate gate from -max-streams, distinct 429 reason)")
+	appendLog := flag.Int("append-log", ucq.DefaultAppendLogSize, "retained append-delta entries per dataset — the window subscribers can catch up over incrementally before degrading to a resync")
 	flag.Parse()
 
 	cfg := server.Config{
-		CacheSize:     *cache,
-		CacheTTL:      *planTTL,
-		BindCacheSize: *bindCache,
-		BindCacheTTL:  *bindTTL,
-		FlushEvery:    *flushEvery,
-		MaxBodyBytes:  *maxBody,
-		DataDir:       *dataDir,
-		SpillBudget:   *dedupBudget,
-		SpillDir:      *spillDir,
-		MaxStreams:    *maxStreams,
-		QueueDeadline: *queueDeadline,
+		CacheSize:        *cache,
+		CacheTTL:         *planTTL,
+		BindCacheSize:    *bindCache,
+		BindCacheTTL:     *bindTTL,
+		FlushEvery:       *flushEvery,
+		MaxBodyBytes:     *maxBody,
+		DataDir:          *dataDir,
+		SpillBudget:      *dedupBudget,
+		SpillDir:         *spillDir,
+		MaxStreams:       *maxStreams,
+		QueueDeadline:    *queueDeadline,
+		MaxSubscriptions: *maxSubscriptions,
+		AppendLogSize:    *appendLog,
 	}
 	var s *server.Server
 	switch *role {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cq"
@@ -47,6 +48,11 @@ type UnionPlan struct {
 	// from the catalog's bind cache is iterated by concurrent requests, and
 	// racing computations store the same value.
 	estimate atomic.Int64
+
+	// bonusSet indexes bonus for ContainsAnswer, built lazily under
+	// bonusOnce (cached plans serve concurrent membership probes).
+	bonusOnce sync.Once
+	bonusSet  *database.TupleSet
 
 	// Sharded enumeration state, built by PrepareShards: per extension,
 	// one CDY plan per shard (nil when the extension has no safe partition
@@ -228,6 +234,27 @@ func (p *UnionPlan) Iterator() enumeration.Iterator {
 	return enumeration.NewCheater(enumeration.NewChain(p.branches()...), p.m)
 }
 
+// DeltaIterator returns a fresh duplicate-free iterator restricted to the
+// union members a change to the named relations can affect: the bonus
+// answers (provider runs may reference the relations transitively) plus
+// the head streams of extensions whose relation footprint meets names.
+// Untouched branches enumerate the same answers at both ends of an append
+// delta, so semi-naive maintenance skips them. With nil or empty names it
+// degenerates to Iterator.
+func (p *UnionPlan) DeltaIterator(names map[string]struct{}) enumeration.Iterator {
+	if len(names) == 0 {
+		return p.Iterator()
+	}
+	its := make([]enumeration.Iterator, 0, len(p.plans)+1)
+	its = append(its, enumeration.NewSliceIterator(p.bonus))
+	for i, plan := range p.plans {
+		if p.Cert.Extensions[i].TouchesRelations(names) {
+			its = append(its, &headIterator{it: plan.Iterator()})
+		}
+	}
+	return enumeration.NewCheater(enumeration.NewChain(its...), p.m)
+}
+
 // ExecOptions tunes a parallel (executor-backed) enumeration of a union
 // plan.
 type ExecOptions struct {
@@ -319,6 +346,35 @@ func (p *UnionPlan) ExactCount() (int64, bool) {
 		return p.plans[0].CountAnswers(), true
 	}
 	return 0, false
+}
+
+// ContainsAnswer reports whether t is an answer of the union over the
+// plan's bound instance, in constant time: the bonus answers are probed
+// through a lazily-built TupleSet and each certified branch through its
+// CDY full-tree head index (yannakakis ContainsHead). Delta maintenance
+// uses it as the old-version membership test — a candidate answer found
+// over the appended tuples is new iff the plan bound at the previous
+// version does not contain it.
+func (p *UnionPlan) ContainsAnswer(t database.Tuple) bool {
+	if len(t) != p.U.Arity() {
+		return false
+	}
+	p.bonusOnce.Do(func() {
+		s := database.NewTupleSet(len(p.bonus))
+		for _, b := range p.bonus {
+			s.Insert(b)
+		}
+		p.bonusSet = s
+	})
+	if p.bonusSet.Contains(t) {
+		return true
+	}
+	for _, pl := range p.plans {
+		if pl.ContainsHead(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // sizeHint clamps AnswerEstimate onto the merge's pre-sizing range.

@@ -71,6 +71,29 @@ func (e *ExtendedCQ) Query() *cq.CQ {
 	return q
 }
 
+// TouchesRelations reports whether the extension's answers can change
+// when the named relations change: true when its base body — or,
+// transitively, any provider snapshot behind its virtual atoms —
+// references one of them. A branch whose whole relation footprint is
+// disjoint from names enumerates identical answers at both versions of an
+// append delta, so delta maintenance skips it.
+func (e *ExtendedCQ) TouchesRelations(names map[string]struct{}) bool {
+	for _, a := range e.Base.Atoms {
+		if a.Virtual {
+			continue
+		}
+		if _, ok := names[a.Rel]; ok {
+			return true
+		}
+	}
+	for _, va := range e.Virtuals {
+		if va.Prov.Provider != nil && va.Prov.Provider.TouchesRelations(names) {
+			return true
+		}
+	}
+	return false
+}
+
 // IsFreeConnex reports whether the extended query is free-connex.
 func (e *ExtendedCQ) IsFreeConnex() bool {
 	q := e.Query()

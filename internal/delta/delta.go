@@ -1,0 +1,312 @@
+// Package delta implements semi-naive incremental maintenance of UCQ
+// answers under append-only dataset changes.
+//
+// The union of conjunctive queries is monotone — appending tuples can only
+// add answers, never retract one — so maintaining a live answer set
+// reduces to computing Q(to) \ Q(from) for consecutive catalog versions.
+// Every answer in that difference uses at least one appended tuple in some
+// atom of its derivation, which gives the classic semi-naive rewriting:
+// for each relation R touched by the append, evaluate the query over the
+// new instance with R replaced by just its delta rows (the overlay). The
+// union of the overlay answer sets is a superset of the new answers and a
+// subset of Q(to); filtering it through a membership test against the
+// version-`from` plan (constant-time for certified Theorem 12 plans via
+// the CDY head indexes) yields exactly the difference.
+//
+// One correctness wrinkle: when a CQ joins a touched relation with itself,
+// the overlay substitutes *every* occurrence, so an answer pairing a new
+// tuple at one occurrence with an old tuple at another is missed.
+// Candidates detects that shape and degrades to one full evaluation at
+// `to` — still exact after the caller's old-membership filter, just no
+// longer incremental.
+package delta
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/storage"
+)
+
+// ctxCheckEvery bounds how many candidate tuples are yielded between
+// context checks inside the enumeration loops.
+const ctxCheckEvery = 1024
+
+// Touched returns the delta'd relation names the query actually
+// references, sorted. Relations the query never mentions cannot change its
+// answers, and empty deltas contribute nothing, so both are dropped.
+func Touched(u *cq.UCQ, deltas map[string]*database.Relation) []string {
+	refs := make(map[string]struct{})
+	for _, q := range u.CQs {
+		for _, a := range q.Atoms {
+			if !a.Virtual {
+				refs[a.Rel] = struct{}{}
+			}
+		}
+	}
+	var names []string
+	for name, rel := range deltas {
+		if rel == nil || rel.Len() == 0 {
+			continue
+		}
+		if _, ok := refs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasSelfJoinOn reports whether some CQ of u references a touched relation
+// in two or more atoms. The per-relation overlay replaces every occurrence
+// of the relation at once, so such a CQ's new answers combining a delta
+// tuple with an old tuple of the same relation would be missed; the
+// callers fall back to full evaluation in that case.
+func HasSelfJoinOn(u *cq.UCQ, touched []string) bool {
+	if len(touched) == 0 {
+		return false
+	}
+	set := make(map[string]struct{}, len(touched))
+	for _, name := range touched {
+		set[name] = struct{}{}
+	}
+	for _, q := range u.CQs {
+		seen := make(map[string]bool)
+		for _, a := range q.Atoms {
+			if a.Virtual {
+				continue
+			}
+			if _, t := set[a.Rel]; !t {
+				continue
+			}
+			if seen[a.Rel] {
+				return true
+			}
+			seen[a.Rel] = true
+		}
+	}
+	return false
+}
+
+// overlay returns toInst with the named relation replaced by its delta
+// rows. The instances share every other relation (copy-on-write snapshots
+// make this safe); only the relation header is fresh.
+func overlay(toInst *database.Instance, name string, drel *database.Relation) *database.Instance {
+	inst := toInst.ShallowClone()
+	if drel.Name != name {
+		drel = drel.Clone()
+		drel.Name = name
+	}
+	inst.AddRelation(drel)
+	return inst
+}
+
+// Candidates runs certified semi-naive delta evaluation and yields each
+// distinct candidate answer once. The yielded set is a superset of
+// Q(to)\Q(from) and a subset of Q(to): the caller filters candidates by
+// membership in the version-`from` plan (core.UnionPlan.ContainsAnswer).
+// Yielded tuples may be transient views — copy before retaining. A false
+// return from yield stops the enumeration early without error.
+//
+// When a CQ self-joins a touched relation, Candidates evaluates the full
+// plan at `to` instead of the overlays (exact, not incremental); the
+// full return value reports which path ran so callers can account for it.
+func Candidates(ctx context.Context, u *cq.UCQ, cert *core.Certificate, toInst *database.Instance, deltas map[string]*database.Relation, yield func(database.Tuple) bool) (full bool, err error) {
+	touched := Touched(u, deltas)
+	if len(touched) == 0 {
+		return false, nil
+	}
+	if HasSelfJoinOn(u, touched) {
+		plan, err := core.NewUnionPlanCtx(ctx, u, cert, toInst)
+		if err != nil {
+			return true, err
+		}
+		return true, drain(ctx, plan.Iterator(), nil, yield)
+	}
+	seen := database.NewTupleSet(0)
+	for _, name := range touched {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		plan, err := core.NewUnionPlanCtx(ctx, u, cert, overlay(toInst, name, deltas[name]))
+		if err != nil {
+			return false, err
+		}
+		it := plan.DeltaIterator(map[string]struct{}{name: {}})
+		if err := drain(ctx, it, seen, yield); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// CandidatesNaive mirrors Candidates on the baseline (non-certified)
+// engine: overlay evaluations through baseline.EvalUCQCtx, the same
+// self-join fallback. Naive callers have no constant-time old-membership
+// test, so they filter through a materialized answer set instead.
+func CandidatesNaive(ctx context.Context, u *cq.UCQ, toInst *database.Instance, deltas map[string]*database.Relation, yield func(database.Tuple) bool) (full bool, err error) {
+	touched := Touched(u, deltas)
+	if len(touched) == 0 {
+		return false, nil
+	}
+	if HasSelfJoinOn(u, touched) {
+		rel, err := baseline.EvalUCQCtx(ctx, u, toInst)
+		if err != nil {
+			return true, err
+		}
+		return true, drainRel(ctx, rel, nil, yield)
+	}
+	seen := database.NewTupleSet(0)
+	for _, name := range touched {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		rel, err := baseline.EvalUCQCtx(ctx, u, overlay(toInst, name, deltas[name]))
+		if err != nil {
+			return false, err
+		}
+		if err := drainRel(ctx, rel, seen, yield); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// drain pushes it's tuples through seen-dedup (nil seen = no dedup) into
+// yield, checking ctx every ctxCheckEvery tuples.
+func drain(ctx context.Context, it interface {
+	Next() (database.Tuple, bool)
+}, seen *database.TupleSet, yield func(database.Tuple) bool) error {
+	n := 0
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		if seen != nil && !seen.Insert(t) {
+			continue
+		}
+		if !yield(t) {
+			return nil
+		}
+		n++
+		if n%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// drainRel is drain over a materialized relation.
+func drainRel(ctx context.Context, rel *database.Relation, seen *database.TupleSet, yield func(database.Tuple) bool) error {
+	for i, n := 0, rel.Len(); i < n; i++ {
+		t := rel.Row(i)
+		if seen != nil && !seen.Insert(t) {
+			continue
+		}
+		if !yield(t) {
+			return nil
+		}
+		if (i+1)%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maxPreallocValues caps Set's arena pre-allocation (mirrors the
+// enumeration merge's clamp) so a huge budget cannot pre-commit memory.
+const maxPreallocValues = 1 << 20
+
+// Set is a budget-bounded emitted-answer set for subscriptions without a
+// constant-time old-membership test (naive-mode plans): it dedups in
+// memory until it holds budget tuples, then migrates to a disk-backed
+// storage.SpillSet and continues there, so a long-lived subscription's
+// memory stays bounded by the budget rather than the answer count.
+type Set struct {
+	mem     *database.TupleSet
+	disk    *storage.SpillSet
+	dir     string
+	arity   int
+	budget  int
+	spilled bool
+}
+
+// NewSet returns a Set for tuples of the given arity. budget ≤ 0 disables
+// spilling (the set stays in memory); dir empty selects os.TempDir() at
+// spill time (storage.NewSpillSet's default).
+func NewSet(dir string, arity, budget, sizeHint int) *Set {
+	if budget > 0 && sizeHint > budget {
+		sizeHint = budget
+	}
+	valueHint := sizeHint * arity
+	if valueHint > maxPreallocValues {
+		valueHint = maxPreallocValues
+	}
+	return &Set{
+		mem:    database.NewTupleSetSized(sizeHint, valueHint),
+		dir:    dir,
+		arity:  arity,
+		budget: budget,
+	}
+}
+
+// Insert adds t if absent and reports whether it was newly inserted.
+func (s *Set) Insert(t database.Tuple) (bool, error) {
+	if s.disk != nil {
+		_, fresh, err := s.disk.InsertGet(t)
+		return fresh, err
+	}
+	fresh := s.mem.Insert(t)
+	if fresh && s.budget > 0 && s.mem.Len() >= s.budget {
+		if err := s.spill(); err != nil {
+			return false, err
+		}
+	}
+	return fresh, nil
+}
+
+// spill migrates the in-memory entries to disk under their existing
+// hashes, preserving every membership verdict.
+func (s *Set) spill() error {
+	disk, err := storage.NewSpillSet(s.dir, s.arity, 2*s.budget)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.mem.Len(); i++ {
+		if _, _, err := disk.InsertGetHash(s.mem.HashAt(i), s.mem.At(i)); err != nil {
+			disk.Close()
+			return err
+		}
+	}
+	s.disk = disk
+	s.spilled = true
+	s.mem = nil
+	return nil
+}
+
+// Len returns the number of distinct tuples inserted.
+func (s *Set) Len() int {
+	if s.disk != nil {
+		return s.disk.Len()
+	}
+	return s.mem.Len()
+}
+
+// Spilled reports whether the set has migrated to disk.
+func (s *Set) Spilled() bool { return s.spilled }
+
+// Close releases the disk table, if any.
+func (s *Set) Close() error {
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}

@@ -73,23 +73,35 @@ func (a *admission) release() {
 // handled; on ok=true the caller must s.admission.release() when the
 // stream ends.
 func (s *Server) admitStream(w http.ResponseWriter, r *http.Request) bool {
-	err := s.admission.acquire(r.Context())
+	return s.admit(w, r, s.admission,
+		"server is at its concurrent stream limit; retry later")
+}
+
+// admitSubscription is admitStream for the separate /subscribe gate: its
+// cap (Config.MaxSubscriptions) and its shed reason are distinct, so a
+// client can tell which limit it hit, and saturated subscriptions never
+// consume a MaxStreams slot (or vice versa).
+func (s *Server) admitSubscription(w http.ResponseWriter, r *http.Request) bool {
+	return s.admit(w, r, s.subAdmission,
+		"server is at its concurrent subscription limit; retry later")
+}
+
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, a *admission, shedMsg string) bool {
+	err := a.acquire(r.Context())
 	switch {
 	case err == nil:
 		return true
 	case errors.Is(err, errStreamShed):
 		// Shed: tell the client when to come back. Not counted as a server
 		// error — the whole point is that rejection here is healthy.
-		retryAfter := int(s.admission.deadline / time.Second)
+		retryAfter := int(a.deadline / time.Second)
 		if retryAfter < 1 {
 			retryAfter = 1
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		w.WriteHeader(http.StatusTooManyRequests)
-		_ = json.NewEncoder(w).Encode(ErrorResponse{
-			Error: "server is at its concurrent stream limit; retry later",
-		})
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: shedMsg})
 		return false
 	default:
 		// The client gave up while queued.

@@ -95,6 +95,12 @@ type answerEncoder interface {
 	appendTuple(t database.Tuple) error
 	// marker emits a scatter progress checkpoint.
 	marker(rootDone int) error
+	// subscriptionMarker emits a /subscribe version checkpoint: "the
+	// answers above make you complete through version". With resync set it
+	// instead announces that the client must discard its state — the full
+	// answer set at version follows. NDJSON sends a {"version":…} object;
+	// binary packs version<<1|resync into the marker frame's payload.
+	subscriptionMarker(version uint64, resync bool) error
 	trailer(tr Trailer) error
 	scatterTrailer(tr cluster.ScatterTrailer) error
 	// streamError terminates a stream that failed without a server-side
@@ -161,6 +167,10 @@ func (e *ndjsonEncoder) marker(rootDone int) error {
 	return e.writeJSONLine(cluster.ScatterMarker{RootDone: rootDone})
 }
 
+func (e *ndjsonEncoder) subscriptionMarker(version uint64, resync bool) error {
+	return e.writeJSONLine(SubscriptionMarker{Version: version, Resync: resync})
+}
+
 func (e *ndjsonEncoder) trailer(tr Trailer) error {
 	return e.writeJSONLine(tr)
 }
@@ -211,6 +221,18 @@ func (e *binaryEncoder) appendTuple(t database.Tuple) error {
 
 func (e *binaryEncoder) marker(rootDone int) error {
 	return e.enc.Marker(rootDone)
+}
+
+func (e *binaryEncoder) subscriptionMarker(version uint64, resync bool) error {
+	// Subscription streams reuse the marker frame: the uvarint payload is
+	// version<<1 with the resync flag in the low bit. Marker payloads are
+	// scatter checkpoints on scatter streams and version checkpoints here;
+	// the two stream types never mix, so the meanings cannot collide.
+	u := version << 1
+	if resync {
+		u |= 1
+	}
+	return e.enc.Marker(int(u))
 }
 
 // wireTrailer maps the HTTP trailer onto the frame payload shape.

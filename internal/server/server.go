@@ -78,6 +78,16 @@ type Config struct {
 	// before it is shed with 429 + Retry-After (0 =
 	// DefaultQueueDeadline).
 	QueueDeadline time.Duration
+	// MaxSubscriptions caps concurrent /subscribe streams (0 =
+	// DefaultMaxSubscriptions). Subscriptions are long-lived, so they get
+	// their own admission gate with a distinct 429 reason instead of
+	// pinning MaxStreams slots and starving one-shot queries.
+	MaxSubscriptions int
+	// AppendLogSize caps each dataset's retained append-delta log (0 =
+	// ucq.DefaultAppendLogSize, negative = retain nothing): the window a
+	// lagging subscriber can catch up over incrementally before it is
+	// degraded to a resync.
+	AppendLogSize int
 	// Cluster configures coordinator mode (NewCoordinator only): the
 	// static worker list plus scatter tuning. Ignored by New.
 	Cluster cluster.Config
@@ -91,6 +101,11 @@ const (
 	// DefaultQueueDeadline is the longest a streaming request waits for an
 	// admission slot before being shed.
 	DefaultQueueDeadline = time.Second
+	// DefaultMaxSubscriptions caps concurrent /subscribe streams. Distinct
+	// from MaxStreams: a subscription lives until the client hangs up, so
+	// sharing the query gate would let a handful of subscribers starve
+	// every one-shot query.
+	DefaultMaxSubscriptions = 64
 )
 
 // Server is the streaming UCQ evaluation service. Create with New; the
@@ -110,8 +125,10 @@ type Server struct {
 	// the catalog journals through it and /stats surfaces its gauges.
 	store *storage.Store
 
-	// admission gates concurrent streaming requests (see admission.go).
-	admission *admission
+	// admission gates concurrent streaming requests (see admission.go);
+	// subAdmission is the separate gate for long-lived /subscribe streams.
+	admission    *admission
+	subAdmission *admission
 
 	// dsMu guards dsQueries, the per-dataset query counters surfaced as
 	// /stats gauges.
@@ -136,12 +153,17 @@ func New(cfg Config) *Server {
 	if cfg.QueueDeadline <= 0 {
 		cfg.QueueDeadline = DefaultQueueDeadline
 	}
+	if cfg.MaxSubscriptions <= 0 {
+		cfg.MaxSubscriptions = DefaultMaxSubscriptions
+	}
 	return &Server{
-		admission: newAdmission(cfg.MaxStreams, cfg.QueueDeadline),
-		cache:     NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
+		admission:    newAdmission(cfg.MaxStreams, cfg.QueueDeadline),
+		subAdmission: newAdmission(cfg.MaxSubscriptions, cfg.QueueDeadline),
+		cache:        NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
 		catalog: ucq.NewCatalogConfig(ucq.CatalogConfig{
 			BindCacheSize: cfg.BindCacheSize,
 			BindCacheTTL:  cfg.BindCacheTTL,
+			AppendLogSize: cfg.AppendLogSize,
 		}),
 		cfg:       cfg,
 		dsQueries: make(map[string]int64),
@@ -162,6 +184,7 @@ func Open(cfg Config) (*Server, error) {
 	cat, st, err := ucq.OpenCatalog(cfg.DataDir, ucq.CatalogConfig{
 		BindCacheSize: cfg.BindCacheSize,
 		BindCacheTTL:  cfg.BindCacheTTL,
+		AppendLogSize: cfg.AppendLogSize,
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +243,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("DELETE /datasets/{name}", s.handleClusterDatasetDelete)
 		mux.HandleFunc("POST /datasets/{name}/query", s.handleClusterDatasetQuery)
 		mux.HandleFunc("POST /datasets/{name}/count", s.handleClusterDatasetCount)
+		// Subscriptions are a single-node feature: the coordinator's
+		// datasets live on its workers, so there is no local append log to
+		// maintain answers from. Subscribe to a worker directly.
+		mux.HandleFunc("GET /datasets/{name}/subscribe", s.handleClusterSubscribe)
+		mux.HandleFunc("POST /datasets/{name}/subscribe", s.handleClusterSubscribe)
 	} else {
 		mux.HandleFunc("PUT /datasets/{name}", s.handleDatasetPut)
 		mux.HandleFunc("GET /datasets", s.handleDatasetList)
@@ -227,6 +255,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("DELETE /datasets/{name}", s.handleDatasetDelete)
 		mux.HandleFunc("POST /datasets/{name}/query", s.handleDatasetQuery)
 		mux.HandleFunc("POST /datasets/{name}/count", s.handleDatasetCount)
+		// Live subscription: initial answer set, then incremental deltas per
+		// append, maintained from the dataset's append log (subscribe.go).
+		mux.HandleFunc("GET /datasets/{name}/subscribe", s.handleSubscribe)
+		mux.HandleFunc("POST /datasets/{name}/subscribe", s.handleSubscribe)
 		// The worker-side scatter endpoint exists on every non-coordinator
 		// server; single-node deployments simply never call it.
 		mux.HandleFunc("POST /datasets/{name}/scatter", s.handleDatasetScatter)
@@ -279,16 +311,27 @@ func (s *Server) StatsSnapshotContext(ctx context.Context) Snapshot {
 		Delays:          s.stats.delays(),
 		ScatterRequests: s.stats.scatterRequests.Load(),
 		Wire: WireSnapshot{
-			NDJSONRequests: s.stats.ndjsonRequests.Load(),
-			BinaryRequests: s.stats.binaryRequests.Load(),
-			NDJSONRows:     s.stats.ndjsonRows.Load(),
-			BinaryRows:     s.stats.binaryRows.Load(),
-			NDJSONBytes:    s.stats.ndjsonBytes.Load(),
-			BinaryBytes:    s.stats.binaryBytes.Load(),
-			StreamsActive:  s.admission.active.Load(),
-			StreamsQueued:  s.admission.queued.Load(),
-			StreamsShed:    s.admission.shed.Load(),
-			MaxStreams:     s.cfg.MaxStreams,
+			NDJSONRequests:      s.stats.ndjsonRequests.Load(),
+			BinaryRequests:      s.stats.binaryRequests.Load(),
+			NDJSONRows:          s.stats.ndjsonRows.Load(),
+			BinaryRows:          s.stats.binaryRows.Load(),
+			NDJSONBytes:         s.stats.ndjsonBytes.Load(),
+			BinaryBytes:         s.stats.binaryBytes.Load(),
+			StreamsActive:       s.admission.active.Load(),
+			StreamsQueued:       s.admission.queued.Load(),
+			StreamsShed:         s.admission.shed.Load(),
+			MaxStreams:          s.cfg.MaxStreams,
+			SubscriptionsActive: s.subAdmission.active.Load(),
+			SubscriptionsShed:   s.subAdmission.shed.Load(),
+			MaxSubscriptions:    s.cfg.MaxSubscriptions,
+		},
+		Subscriptions: SubscriptionsSnapshot{
+			Active:           s.subAdmission.active.Load(),
+			Started:          s.stats.subsStarted.Load(),
+			DeltasEvaluated:  s.stats.deltasEvaluated.Load(),
+			AnswersPushed:    s.stats.deltaAnswersPushed.Load(),
+			Resyncs:          s.stats.subsResyncs.Load(),
+			MaxSubscriptions: s.cfg.MaxSubscriptions,
 		},
 	}
 	if s.cluster != nil {

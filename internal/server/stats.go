@@ -50,6 +50,15 @@ type Stats struct {
 	ndjsonBytes    atomic.Int64
 	binaryBytes    atomic.Int64
 
+	// Subscription counters: subscriptions admitted, delta windows
+	// evaluated on behalf of them, answers those windows pushed, and the
+	// times a lagging subscriber was degraded to a full resync because the
+	// append log no longer covered its window.
+	subsStarted        atomic.Int64
+	deltasEvaluated    atomic.Int64
+	deltaAnswersPushed atomic.Int64
+	subsResyncs        atomic.Int64
+
 	// Auto-bind decision counters, by resolved strategy. A shifting mix —
 	// e.g. sharded picks collapsing to sequential after a data change — is
 	// the observable trace of a planner regression.
@@ -131,6 +140,9 @@ type Snapshot struct {
 	// Wire breaks streaming traffic down by negotiated answer encoding and
 	// surfaces the admission gate's gauges.
 	Wire WireSnapshot `json:"wire"`
+	// Subscriptions is the live-subscription section: the /subscribe gate's
+	// gauges plus the incremental-maintenance counters.
+	Subscriptions SubscriptionsSnapshot `json:"subscriptions"`
 	// Cluster is the coordinator's view of its workers; nil outside
 	// coordinator mode.
 	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
@@ -160,6 +172,33 @@ type WireSnapshot struct {
 	StreamsShed   int64 `json:"streams_shed"`
 	// MaxStreams is the configured concurrency cap.
 	MaxStreams int `json:"max_streams"`
+	// SubscriptionsActive/SubscriptionsShed gauge the separate /subscribe
+	// admission gate; MaxSubscriptions is its cap. Subscriptions never
+	// consume MaxStreams slots — the two gates are independent, so
+	// long-lived subscribers cannot starve one-shot query streams.
+	SubscriptionsActive int64 `json:"subscriptions_active"`
+	SubscriptionsShed   int64 `json:"subscriptions_shed"`
+	MaxSubscriptions    int   `json:"max_subscriptions"`
+}
+
+// SubscriptionsSnapshot is the subscriptions section of GET /stats:
+// incremental answer maintenance observed from the server side.
+type SubscriptionsSnapshot struct {
+	// Active gauges the currently-connected subscriptions; Started counts
+	// every subscription admitted since the process started.
+	Active  int64 `json:"active"`
+	Started int64 `json:"started"`
+	// DeltasEvaluated counts delta windows evaluated on behalf of
+	// subscribers (one per append batch a subscriber caught up over);
+	// AnswersPushed counts the new answers those evaluations pushed.
+	DeltasEvaluated int64 `json:"deltas_evaluated"`
+	AnswersPushed   int64 `json:"answers_pushed"`
+	// Resyncs counts the times a subscriber was degraded to a full
+	// re-enumeration because the dataset's append log no longer covered its
+	// catch-up window (slow consumer, Replace, or log compaction).
+	Resyncs int64 `json:"resyncs"`
+	// MaxSubscriptions is the configured concurrency cap.
+	MaxSubscriptions int `json:"max_subscriptions"`
 }
 
 // StorageSnapshot is the storage section of GET /stats: the durable

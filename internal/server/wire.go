@@ -88,6 +88,33 @@ type CountResponse struct {
 	Bind           string `json:"bind,omitempty"`
 }
 
+// SubscribeRequest is the POST /datasets/{name}/subscribe body. The GET
+// form carries the same fields as query parameters (query, mode,
+// from_version) for curl-friendly subscriptions.
+type SubscribeRequest struct {
+	// Query is the UCQ source, as in QueryRequest.
+	Query string `json:"query"`
+	// Options selects the evaluation engine; count_only is rejected.
+	Options QueryOptions `json:"options"`
+	// FromVersion resumes a subscription that already holds the complete
+	// answer set through that dataset version (it was reading a stream that
+	// died after a {"version":N} marker): the initial batch is then the
+	// delta since FromVersion instead of the full answer set, when the
+	// append log still covers it. 0 subscribes from scratch.
+	FromVersion uint64 `json:"from_version,omitempty"`
+}
+
+// SubscriptionMarker is the NDJSON control object punctuating a
+// /subscribe stream: every answer batch ends with one, declaring the
+// dataset version the client is now complete through. Resync announces
+// that the server could not maintain the client incrementally (the append
+// log no longer covered its window) — the client must discard its answer
+// set; the full set at Version follows, ended by a plain marker.
+type SubscriptionMarker struct {
+	Version uint64 `json:"version"`
+	Resync  bool   `json:"resync,omitempty"`
+}
+
 // DatasetRequest is the PUT /datasets/{name} body: the relations in the
 // same rows wire format as QueryRequest.Relations.
 type DatasetRequest struct {

@@ -194,6 +194,10 @@ type Plan struct {
 	dsName    string
 	dsVersion uint64
 	bindHit   bool
+	// ds is the catalog dataset the plan was bound against (nil for
+	// inline-instance and anonymous binds); the delta-maintenance API
+	// reads the append log through it.
+	ds *Dataset
 }
 
 // DatasetName returns the name of the dataset the plan was bound against,

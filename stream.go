@@ -69,6 +69,120 @@ func DecodeAnswerStream(r io.Reader, contentType string, yield func(Tuple) bool)
 	return decodeNDJSONStream(r, yield)
 }
 
+// SubscriptionEvent is a control record of a /subscribe stream: a version
+// marker. The answers before it make the subscriber's set complete through
+// Version. Resync means the server could not maintain the subscriber
+// incrementally — discard every answer collected so far; the full set at
+// Version follows, ended by a plain (non-resync) marker.
+type SubscriptionEvent struct {
+	Version Version `json:"version"`
+	Resync  bool    `json:"resync,omitempty"`
+}
+
+// DecodeSubscriptionStream reads a GET/POST /datasets/{name}/subscribe
+// response from r, calling yield for every answer and event for every
+// version marker, in stream order. contentType dispatches the decoder like
+// DecodeAnswerStream. Subscription streams are normally endless: a nil
+// trailer with a nil error means the stream ended (the connection closed or
+// a callback returned false) without the server reporting a failure; a
+// non-nil trailer means the server terminated the subscription and says
+// why (e.g. the dataset was dropped).
+func DecodeSubscriptionStream(r io.Reader, contentType string, yield func(Tuple) bool, event func(SubscriptionEvent) bool) (*StreamTrailer, error) {
+	media := contentType
+	if i := strings.IndexByte(media, ';'); i >= 0 {
+		media = media[:i]
+	}
+	if strings.TrimSpace(media) == MediaTypeBinary {
+		return decodeBinarySubscription(r, yield, event)
+	}
+	return decodeNDJSONSubscription(r, yield, event)
+}
+
+func decodeBinarySubscription(r io.Reader, yield func(Tuple) bool, event func(SubscriptionEvent) bool) (*StreamTrailer, error) {
+	dec := wire.NewDecoder(bufio.NewReaderSize(r, 64<<10))
+	for {
+		fr, err := dec.Next()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ucq: reading subscription stream: %v", err)
+		}
+		switch fr.Kind {
+		case wire.KindBlock:
+			for _, t := range fr.Tuples {
+				if !yield(t) {
+					return nil, nil
+				}
+			}
+		case wire.KindMarker:
+			// The marker payload bit-packs the version with the resync flag
+			// in the low bit (the scatter hop uses the same frame kind for
+			// root progress, but scatter and subscription streams never mix).
+			u := uint64(fr.RootDone)
+			if !event(SubscriptionEvent{Version: u >> 1, Resync: u&1 == 1}) {
+				return nil, nil
+			}
+		case wire.KindTrailer:
+			tr := fr.Trailer
+			return &StreamTrailer{
+				Done:           tr.Done,
+				Count:          tr.Count,
+				Mode:           tr.Mode,
+				Cache:          tr.Cache,
+				Dataset:        tr.Dataset,
+				DatasetVersion: tr.DatasetVersion,
+				Bind:           tr.Bind,
+				Error:          tr.Error,
+			}, nil
+		}
+	}
+}
+
+func decodeNDJSONSubscription(r io.Reader, yield func(Tuple) bool, event func(SubscriptionEvent) bool) (*StreamTrailer, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for scanner.Scan() {
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] == '[' {
+			t, err := wire.ParseTupleNDJSON(raw)
+			if err != nil {
+				return nil, fmt.Errorf("ucq: malformed answer line %q: %v", raw, err)
+			}
+			if !yield(t) {
+				return nil, nil
+			}
+			continue
+		}
+		// Control objects: version markers carry "version" (and never
+		// "done"/"error"); anything completed or failed is the trailer.
+		var rec struct {
+			StreamTrailer
+			Version *uint64 `json:"version"`
+			Resync  bool    `json:"resync"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("ucq: malformed stream record %q: %v", raw, err)
+		}
+		if rec.Done || rec.Error != "" {
+			tr := rec.StreamTrailer
+			return &tr, nil
+		}
+		if rec.Version != nil {
+			if !event(SubscriptionEvent{Version: *rec.Version, Resync: rec.Resync}) {
+				return nil, nil
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ucq: reading subscription stream: %v", err)
+	}
+	return nil, nil
+}
+
 func decodeBinaryStream(r io.Reader, yield func(Tuple) bool) (*StreamTrailer, error) {
 	dec := wire.NewDecoder(bufio.NewReaderSize(r, 64<<10))
 	for {
